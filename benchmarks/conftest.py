@@ -1,0 +1,39 @@
+"""Benchmark-suite configuration.
+
+Every benchmark regenerates one paper table/figure through the
+experiment harness and asserts its qualitative claim.  The heavy DES /
+DDE runs are executed exactly once per benchmark (``rounds=1``) — the
+interesting number is the figure's content, not the harness's wall
+clock, and re-running a 30-second sweep five times buys nothing.
+"""
+
+import pytest
+
+from repro.experiments.config import Scale
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """benchmark.pedantic with a single round, returning fn's result."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(
+            fn, args=args, kwargs=kwargs, rounds=1, iterations=1
+        )
+
+    return runner
+
+
+@pytest.fixture
+def bench_scale() -> Scale:
+    """Benchmark-sized sweeps: the paper's structure, CI-friendly cost."""
+    return Scale(
+        sim_duration=0.03,
+        warmup=0.012,
+        sample_interval=20e-6,
+        flow_counts=(10, 25, 40, 55, 70, 85, 100),
+        n_queries=10,
+        incast_flows=(16, 24, 30, 32, 33, 34, 35, 36, 40),
+        completion_flows=(16, 24, 30, 32, 33, 34, 35, 36, 40),
+        fluid_duration=0.06,
+    )

@@ -1,0 +1,150 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+Beyond the paper's figures:
+
+* **threshold-gap sweep** — how wide should (K1, K2) straddle K?  The
+  paper picks 30/50 without justification; sweeping the gap shows the
+  stability-margin gain is monotone in the gap (theory) and the queue
+  std-dev benefit appears at the packet level as well.
+* **g sweep** — the alpha gain trades estimation speed against noise;
+  the plant's phase crossover moves with it.
+* **marking-mechanism bake-off** — DropTail/Reno, RED/ECN-Reno, DCTCP
+  and DT-DCTCP on the same dumbbell.
+* **deadband sweep** — the packet-level hysteresis needs a direction
+  deadband below the threshold gap, or it degenerates (the testbed
+  lesson baked into repro.experiments.protocols).
+"""
+
+import math
+
+import pytest
+
+from repro.core.marking import DoubleThresholdMarker
+from repro.core.parameters import (
+    DoubleThresholdParams,
+    SingleThresholdParams,
+    paper_network,
+)
+from repro.core.stability import calibrate_gain_scale, stability_margin
+from repro.core.transfer_function import open_loop
+from repro.experiments.protocols import (
+    ProtocolConfig,
+    dctcp_sim,
+    dt_dctcp_sim,
+    ecn_red_baseline,
+)
+from repro.experiments.queue_sweep import run_point
+from repro.sim.tcp.cubic import CubicSender
+from repro.sim.tcp.sender import DctcpSender, RenoSender
+
+
+def test_ablation_threshold_gap_margin(run_once):
+    """Stability margin grows monotonically with the hysteresis gap."""
+
+    def sweep():
+        net = paper_network(55)
+        scale = calibrate_gain_scale(
+            paper_network(10), SingleThresholdParams(40.0), onset_flows=60
+        )
+        margins = []
+        for gap in (0.0, 5.0, 10.0, 20.0, 30.0):
+            params = DoubleThresholdParams(k1=40.0 - gap / 2, k2=40.0 + gap / 2)
+            margins.append(
+                (gap, stability_margin(net, params, loop_gain_scale=scale))
+            )
+        return margins
+
+    margins = run_once(sweep)
+    print(f"\nAblation gap->margin at N=55: {margins}")
+    values = [m for _, m in margins]
+    assert values == sorted(values)
+    # Degenerate gap 0 equals DCTCP: margin ~ 0 at the calibrated scale.
+    assert values[0] == pytest.approx(0.0, abs=0.05)
+    assert values[-1] > 0.2
+
+
+def test_ablation_g_sweep_crossover(run_once):
+    """Larger g speeds alpha but drags the phase crossover lower."""
+
+    def sweep():
+        rows = []
+        for g in (1 / 32, 1 / 16, 1 / 4):
+            net = paper_network(40, g=g)
+            import numpy as np
+
+            w = np.geomspace(1e3, 1e6, 20000)
+            vals = open_loop(w, net) / 40.0
+            phase = np.unwrap(np.angle(vals))
+            idx = int(np.argmin(np.abs(phase + math.pi)))
+            rows.append((g, float(w[idx]), float(abs(vals[idx]))))
+        return rows
+
+    rows = run_once(sweep)
+    print(f"\nAblation g -> (w180, |K0 G|): {rows}")
+    freqs = [w for _, w, _ in rows]
+    assert freqs == sorted(freqs, reverse=True)  # bigger g, earlier pole
+
+
+def test_ablation_mechanism_bakeoff(run_once, bench_scale):
+    """All four mechanisms on the same pipe at N = 10."""
+
+    def bakeoff():
+        from repro.core.marking import NullMarker
+
+        configs = [
+            ProtocolConfig("DropTail-Reno", lambda: NullMarker(), RenoSender),
+            ProtocolConfig("DropTail-CUBIC", lambda: NullMarker(),
+                           CubicSender),
+            ecn_red_baseline(),
+            dctcp_sim(),
+            dt_dctcp_sim(),
+        ]
+        return {
+            c.name: run_point(c, 10, bench_scale) for c in configs
+        }
+
+    results = run_once(bakeoff)
+    rows = {
+        name: (round(p.mean_queue, 1), round(p.std_queue, 1),
+               round(p.goodput_bps / 1e9, 2))
+        for name, p in results.items()
+    }
+    print(f"\nAblation bake-off (mean q, std q, Gbps): {rows}")
+    # ECN-based mechanisms keep the queue near their thresholds...
+    assert results["DCTCP"].mean_queue < 70
+    assert results["DT-DCTCP"].mean_queue < 70
+    # ...and full throughput.
+    assert results["DCTCP"].goodput_bps > 9e9
+    assert results["DT-DCTCP"].goodput_bps > 9e9
+    # Loss-based stacks drop packets on this pipe (synchronized
+    # slow-start overshoot; no ECN brake).
+    assert results["DropTail-Reno"].drops > 0
+    assert results["DropTail-CUBIC"].drops > 0
+    assert results["DropTail-Reno"].goodput_bps < results["DCTCP"].goodput_bps
+    # DT-DCTCP's oscillation is the smallest of the ECN mechanisms.
+    assert results["DT-DCTCP"].std_queue <= results["DCTCP"].std_queue * 1.05
+    assert results["DT-DCTCP"].std_queue <= results["RED-ECN"].std_queue
+
+
+def test_ablation_deadband_must_stay_below_gap(run_once, bench_scale):
+    """A deadband comparable to the K2-K1 gap degenerates DT-DCTCP into
+    an effective single threshold: its std advantage disappears."""
+
+    def sweep():
+        rows = {}
+        for deadband in (0.5, 2.0, 25.0):
+            config = ProtocolConfig(
+                name=f"DT-db{deadband}",
+                marker_factory=lambda d=deadband: (
+                    DoubleThresholdMarker.from_thresholds(30, 50, deadband=d)
+                ),
+                sender_cls=DctcpSender,
+            )
+            rows[deadband] = run_point(config, 10, bench_scale)
+        return rows
+
+    rows = run_once(sweep)
+    printable = {k: round(v.std_queue, 2) for k, v in rows.items()}
+    print(f"\nAblation deadband -> std q: {printable}")
+    # A deadband beyond the gap behaves no better than the moderate one.
+    assert rows[25.0].std_queue >= rows[2.0].std_queue * 0.8

@@ -1,0 +1,36 @@
+"""Extension benchmark: the buffer-pressure microbenchmark.
+
+Long flows on *other* ports of a shared-memory switch steal the pool an
+incast port needs.  DropTail background collapses the incast; marking
+(DCTCP or DT-DCTCP) background leaves it at line rate.
+"""
+
+from repro.experiments import buffer_pressure
+
+
+def test_buffer_pressure(run_once):
+    results = run_once(buffer_pressure.run)
+    by_label = {r.background: r for r in results}
+    printable = {
+        label: (round(r.incast_goodput_bps / 1e6), r.incast_timeouts,
+                round(r.background_queue_peak_bytes / 1024))
+        for label, r in by_label.items()
+    }
+    print(f"\nBuffer pressure (Mbps, timeouts, port-B peak KB): {printable}")
+
+    alone = by_label["none (DCTCP incast alone)"]
+    droptail = by_label["Reno long flows, DropTail pool"]
+    dctcp = by_label["DCTCP long flows"]
+    dt = by_label["DT-DCTCP long flows"]
+
+    # Without pressure the incast runs near line rate.
+    assert alone.incast_goodput_bps > 0.9e9
+    # DropTail background parks most of the pool on port B and crushes it.
+    assert droptail.background_queue_peak_bytes > 0.5 * 256 * 1024
+    assert droptail.incast_goodput_bps < alone.incast_goodput_bps / 2
+    assert droptail.pool_rejections > 0
+    # Marking background keeps the pool free: incast unaffected.
+    for marked in (dctcp, dt):
+        assert marked.incast_goodput_bps > 0.9e9
+        assert marked.incast_timeouts == 0
+        assert marked.background_queue_peak_bytes < 0.5 * 256 * 1024

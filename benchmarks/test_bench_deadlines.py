@@ -1,0 +1,28 @@
+"""Extension benchmark: D2TCP's deadline awareness over this substrate.
+
+Three 2 MB transfers with an 11 ms deadline (infeasible at fair share,
+~13.5 ms) against five loose ones: deadline-blind DCTCP misses all
+three; D2TCP's gamma-corrected penalties deliver them, costing the
+loose group about a millisecond.
+"""
+
+from repro.experiments import deadlines
+
+
+def test_deadline_awareness(run_once):
+    results = run_once(deadlines.run)
+    by_name = {r.protocol: r for r in results}
+    dctcp = by_name["DCTCP"]
+    d2tcp = by_name["D2TCP"]
+    print(
+        f"\nDeadlines: DCTCP tight {dctcp.tight_met}/{dctcp.tight_total} "
+        f"(mean {dctcp.tight_mean_fct*1e3:.1f} ms), D2TCP tight "
+        f"{d2tcp.tight_met}/{d2tcp.tight_total} "
+        f"(mean {d2tcp.tight_mean_fct*1e3:.1f} ms)"
+    )
+    # Deadline-blind sharing misses the infeasible tight deadline...
+    assert dctcp.tight_met == 0
+    # ... D2TCP meets strictly more, without losing the loose group.
+    assert d2tcp.tight_met > dctcp.tight_met
+    assert d2tcp.loose_met == d2tcp.loose_total
+    assert d2tcp.tight_mean_fct < dctcp.tight_mean_fct

@@ -1,0 +1,36 @@
+"""Extension benchmark: the bias-corrected DF against the packet sim.
+
+Parameter-free (no calibrated gain anywhere): centring the DF's test
+signal at the threshold — where the closed loop actually holds the
+queue — predicts a limit cycle at every N with amplitude
+``2 K |K0 G(j w180)| / pi``.  The bench checks existence, scale, and
+trend against the packet-level measurement.
+"""
+
+from repro.experiments import df_bias
+
+
+def test_bias_corrected_df_predicts_simulation(run_once, bench_scale):
+    points = run_once(df_bias.run, bench_scale, (10, 20, 30, 40))
+    rows = [
+        (p.n_flows, round(p.predicted_amplitude, 1),
+         round(p.measured_amplitude, 1), round(p.amplitude_ratio, 2),
+         p.predicted_dt_amplitude, round(p.measured_dt_amplitude, 1))
+        for p in points
+    ]
+    print(f"\nBias-corrected DF (N, DC X*, DC X, ratio, DT X*, DT X): {rows}")
+    for p in points:
+        # Existence and scale: measured within ~2x of the prediction.
+        assert 0.5 < p.amplitude_ratio < 2.5
+        # Frequencies in the same band.
+        assert 0.5 < p.measured_frequency / p.predicted_frequency < 2.0
+        # DT-DCTCP: either no predicted cycle (stable) or a smaller one,
+        # and the measured DT oscillation never exceeds DCTCP's.
+        if p.predicted_dt_amplitude is not None:
+            assert p.predicted_dt_amplitude <= p.predicted_amplitude
+        assert p.measured_dt_amplitude <= p.measured_amplitude * 1.05
+    # Both series grow through the ECN-controlled regime.
+    predicted = [p.predicted_amplitude for p in points]
+    measured = [p.measured_amplitude for p in points]
+    assert predicted == sorted(predicted)
+    assert measured[-1] > measured[0]

@@ -1,0 +1,100 @@
+"""Extension benchmarks beyond the paper's figures.
+
+* **convergence/fairness** — the marking change must not break DCTCP's
+  TCP-friendliness (Section II-A background);
+* **min-RTO sweep** — the incast blow-up magnitude is exactly the
+  minimum RTO; shrinking it (the classic incast mitigation) shrinks the
+  completion-time jump proportionally;
+* **delayed-ACK sweep** — DCTCP's receiver state machine keeps the
+  marked-fraction estimate accurate under ACK coalescing.
+"""
+
+import pytest
+
+from repro.experiments import convergence
+from repro.experiments.protocols import dctcp_sim, dctcp_testbed
+from repro.sim.apps.bulk import launch_bulk_flows
+from repro.sim.apps.partition_aggregate import partition_aggregate_app
+from repro.sim.topology import dumbbell, paper_testbed
+from repro.sim.trace import QueueMonitor
+
+
+def test_extension_convergence_fairness(run_once):
+    dc, dt = run_once(convergence.run)
+    print(
+        f"\nConvergence: DCTCP fairness {dc.steady_fairness:.3f} "
+        f"joiner {dc.joiner_relative_share:.2f}; DT-DCTCP "
+        f"{dt.steady_fairness:.3f} / {dt.joiner_relative_share:.2f}"
+    )
+    for result in (dc, dt):
+        assert result.steady_fairness > 0.95
+        assert 0.5 < result.joiner_relative_share < 1.5
+        assert result.utilisation > 0.9
+
+
+def test_extension_min_rto_sweep(run_once):
+    """Post-collapse completion time tracks the configured min-RTO."""
+
+    def sweep():
+        rows = {}
+        for min_rto in (0.01, 0.05, 0.2):
+            testbed = paper_testbed(dctcp_testbed().marker_factory)
+            app = partition_aggregate_app(
+                testbed.aggregator,
+                testbed.workers,
+                n_flows=40,  # solidly past the collapse point
+                n_queries=5,
+                initial_cwnd=2,
+                start_jitter=50e-6,
+                min_rto=min_rto,
+            )
+            app.start()
+            testbed.sim.run(until=20.0)
+            times = app.completion_times()
+            rows[min_rto] = sum(times) / len(times)
+        return rows
+
+    rows = run_once(sweep)
+    printable = {k: round(v * 1e3, 1) for k, v in rows.items()}
+    print(f"\nmin-RTO -> mean completion (ms): {printable}")
+    # Completion time ordered by (and dominated by) the min-RTO.
+    assert rows[0.01] < rows[0.05] < rows[0.2]
+    assert rows[0.2] == pytest.approx(0.2 + 0.0085, rel=0.35)
+
+
+def test_extension_delayed_ack_sweep(run_once):
+    """Queue regulation and alpha accuracy survive ACK coalescing."""
+
+    def sweep():
+        rows = {}
+        for delack in (1, 2):
+            protocol = dctcp_sim()
+            network = dumbbell(10, protocol.marker_factory)
+            flows = launch_bulk_flows(
+                network, sender_cls=protocol.sender_cls,
+                delayed_ack_factor=delack,
+            )
+            monitor = QueueMonitor(
+                network.sim, network.bottleneck_queue, 20e-6
+            )
+            monitor.start()
+            network.sim.run(until=0.03)
+            queue = monitor.series(after=0.012)
+            marked_fraction = (
+                network.bottleneck_queue.stats.marked
+                / max(network.bottleneck_queue.stats.enqueued, 1)
+            )
+            alphas = [f.sender.alpha for f in flows]
+            rows[delack] = (
+                float(queue.mean()),
+                sum(alphas) / len(alphas),
+                marked_fraction,
+            )
+        return rows
+
+    rows = run_once(sweep)
+    print(f"\ndelack -> (mean q, alpha, marked fraction): {rows}")
+    for delack, (mean_q, alpha, marked) in rows.items():
+        assert 20 < mean_q < 70
+        # alpha tracks the switch's actual marking fraction.
+        assert alpha == pytest.approx(marked, abs=0.2)

@@ -1,0 +1,17 @@
+"""Benchmark: Figure 2 — the two marking strategies on one excursion."""
+
+import pytest
+
+from repro.experiments import fig02_marking
+
+
+def test_fig02_marking_strategies(run_once):
+    dc, dt = run_once(fig02_marking.run)
+    print(
+        f"\nFigure 2: DCTCP marks {dc.mark_start_level:.0f}->"
+        f"{dc.mark_stop_level:.0f}; DT-DCTCP marks "
+        f"{dt.mark_start_level:.0f}->{dt.mark_stop_level:.0f}"
+    )
+    assert dc.mark_start_level == pytest.approx(40.0, abs=1.0)
+    assert dt.mark_start_level == pytest.approx(30.0, abs=1.0)
+    assert dt.mark_stop_level == pytest.approx(50.0, abs=1.0)

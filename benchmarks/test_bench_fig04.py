@@ -1,0 +1,10 @@
+"""Benchmark: Figure 4 — DF stability-criterion trichotomy."""
+
+from repro.experiments import fig04_criterion
+
+
+def test_fig04_criterion_trichotomy(run_once):
+    cases = run_once(fig04_criterion.run)
+    print("\nFigure 4:", [(c.loop_gain_scale, c.classification) for c in cases])
+    assert cases[0].classification == "stable"
+    assert any(c.classification == "limit cycle" for c in cases)

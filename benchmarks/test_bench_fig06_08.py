@@ -1,0 +1,13 @@
+"""Benchmark: Figures 6 and 8 — describing functions (Eq. 22 / 27).
+
+Closed form vs numeric Fourier integration vs the live marker objects.
+"""
+
+from repro.experiments import fig06_08_df
+
+
+def test_fig06_08_describing_functions(run_once):
+    rows = run_once(fig06_08_df.run)
+    worst = max(max(r.numeric_error, r.marker_error) for r in rows)
+    print(f"\nFigures 6/8: {len(rows)} DF evaluations, worst error {worst:.2e}")
+    assert worst < 1e-3

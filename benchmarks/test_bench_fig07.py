@@ -1,0 +1,18 @@
+"""Benchmark: Figure 7 — Nyquist loci geometry."""
+
+import math
+
+import pytest
+
+from repro.experiments import fig07_nyquist_loci
+
+
+def test_fig07_nyquist_loci(run_once):
+    dc, dt = run_once(fig07_nyquist_loci.run)
+    print(
+        f"\nFigure 7: DCTCP rightmost -1/N0 = {dc.df_rightmost.real:.3f} "
+        f"(= -pi); DT-DCTCP rightmost = {dt.df_rightmost.real:.3f}"
+        f"{dt.df_rightmost.imag:+.3f}j"
+    )
+    assert dc.df_rightmost.real == pytest.approx(-math.pi, rel=1e-3)
+    assert dt.df_min_imag > 0.0

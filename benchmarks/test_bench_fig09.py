@@ -1,0 +1,25 @@
+"""Benchmark: Figure 9 — oscillation onset versus flow count.
+
+Regenerates the stability-margin sweep under the calibrated gain scale
+(see repro.core.stability's module docstring) and checks the paper's
+comparison: DCTCP's loci intersect at some N, DT-DCTCP's never do, and
+DT-DCTCP's margin exceeds DCTCP's at every flow count.
+"""
+
+from repro.experiments import fig09_critical_n
+
+
+def test_fig09_critical_flow_count(run_once):
+    result = run_once(fig09_critical_n.run, tuple(range(10, 101, 5)))
+    print(
+        f"\nFigure 9: DCTCP onset N = {result.dc_critical_n} (paper ~60 "
+        f"under its gain convention), DT-DCTCP onset N = "
+        f"{result.dt_critical_n} (paper ~70; here: margin never closes)"
+    )
+    assert result.dc_critical_n is not None
+    assert result.dt_critical_n is None
+    assert result.dt_margin_always_larger
+    if result.dc_limit_cycle is not None:
+        amp, freq = result.dc_limit_cycle
+        assert amp > 40.0
+        assert freq > 0.0

@@ -1,0 +1,37 @@
+"""Benchmark: Figure 15 — partition-aggregate query completion time.
+
+The paper reports ~10 ms completion until incast, then a ~20x jump (one
+200 ms minimum RTO); DCTCP degrades flows earlier than DT-DCTCP.
+"""
+
+import pytest
+
+from repro.experiments import fig15_completion_time
+
+
+def test_fig15_completion_time(run_once, bench_scale):
+    result = run_once(fig15_completion_time.run, bench_scale)
+    rows = [
+        (a.n_flows, round(a.mean_time * 1e3, 1), round(b.mean_time * 1e3, 1))
+        for a, b in zip(
+            result.points["DCTCP"], result.points["DT-DCTCP"]
+        )
+    ]
+    print(f"\nFigure 15 (n, dc ms, dt ms): {rows}")
+    dc_blowup = result.blowup_flows("DCTCP")
+    dt_blowup = result.blowup_flows("DT-DCTCP")
+    print(
+        f"blow-up: DCTCP {dc_blowup}, DT-DCTCP {dt_blowup} "
+        "(paper: DCTCP oscillating from 34, collapsed at 40; DT-DCTCP 42)"
+    )
+    # Base completion ~ the 1 MB serialisation time.
+    first_dc = result.points["DCTCP"][0]
+    assert first_dc.mean_time == pytest.approx(result.base_time, rel=0.5)
+    # DCTCP blows up somewhere in the sweep; DT-DCTCP no earlier.
+    assert dc_blowup is not None
+    assert dt_blowup is None or dt_blowup >= dc_blowup
+    # The jump is roughly one minimum RTO: at the blow-up point the tail
+    # already pays it, and by the end of the sweep so does the mean.
+    post = [p for p in result.points["DCTCP"] if p.n_flows >= dc_blowup]
+    assert post[0].p99_time > 10 * result.base_time
+    assert post[-1].mean_time > 10 * result.base_time

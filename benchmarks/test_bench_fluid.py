@@ -1,0 +1,29 @@
+"""Benchmark: fluid-model counterparts of Figures 1/10/11.
+
+Integrates the nonlinear DDE (Eq. 1-3) for both marking mechanisms and
+checks the paper's stability ordering at the fluid level, plus the
+DF-predicted oscillation frequency landing in the band the fluid model
+actually exhibits.
+"""
+
+from repro.experiments import fluid_validation
+
+
+def test_fluid_model_vs_df_theory(run_once, bench_scale):
+    points = run_once(
+        fluid_validation.run, bench_scale, (10, 20, 30, 40)
+    )
+    rows = [
+        (p.n_flows, round(p.dc_std, 2), round(p.dt_std, 2),
+         round(p.dc_frequency))
+        for p in points
+    ]
+    print(f"\nFluid (N, dc std, dt std, dc freq rad/s): {rows}")
+    # DT-DCTCP's fluid queue is steadier at every valid flow count.
+    for p in points:
+        assert p.dt_std < p.dc_std
+    # Oscillation grows with N within the valid regime.
+    assert points[-1].dc_std > points[0].dc_std * 0.8
+    # Fluid oscillation frequency in the DF band (~1e3..1e5 rad/s).
+    for p in points:
+        assert 5e2 < p.dc_frequency < 1e5

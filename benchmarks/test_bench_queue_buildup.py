@@ -1,0 +1,29 @@
+"""Extension benchmark: the queue-buildup microbenchmark.
+
+Short-flow latency under background load — the Section II-A claim that
+ECN marking protects latency-sensitive traffic, with DT-DCTCP's steadier
+(and slightly lower) queue giving the best tail.
+"""
+
+from repro.experiments import queue_buildup
+
+
+def test_queue_buildup_short_flow_latency(run_once):
+    results = run_once(queue_buildup.run)
+    by_name = {r.protocol: r for r in results}
+    rows = {
+        name: (round(r.mean_queue, 1), round(r.mean_fct * 1e6),
+               round(r.p99_fct * 1e6))
+        for name, r in by_name.items()
+    }
+    print(f"\nQueue buildup (mean q, mean FCT us, p99 FCT us): {rows}")
+    droptail = by_name["DropTail-Reno"]
+    dctcp = by_name["DCTCP"]
+    dt = by_name["DT-DCTCP"]
+    # ECN mechanisms keep short-flow latency well below DropTail's.
+    assert dctcp.mean_fct < droptail.mean_fct / 1.5
+    assert dt.mean_fct < droptail.mean_fct / 1.5
+    # ... because their standing queues are an order of magnitude lower.
+    assert dctcp.mean_queue < droptail.mean_queue / 5
+    # DT-DCTCP's queue is the lowest of the three.
+    assert dt.mean_queue <= dctcp.mean_queue

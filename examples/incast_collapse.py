@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Incast on the paper's testbed: watch DT-DCTCP postpone the collapse.
+
+Builds Figure 13's topology (core switch + aggregator + 3 leaves x 3
+workers at 1 Gbps, 128 KB marking buffer), then sweeps the number of
+synchronized 64 KB responses per query for DCTCP and DT-DCTCP.  As the
+fan-out crosses the buffer's capacity, full-window losses force 200 ms
+retransmission timeouts and goodput collapses by two orders of
+magnitude — a few flows later for DT-DCTCP (paper Figure 14: 32 vs 37).
+
+Run:  python examples/incast_collapse.py [max_flows]
+"""
+
+import sys
+
+from repro.experiments.fig14_incast import run_incast_point
+from repro.experiments.protocols import dctcp_testbed, dt_dctcp_testbed
+from repro.experiments.tables import print_table
+
+
+def main(max_flows: int = 40) -> None:
+    flow_counts = [8, 16, 24, 28, 30, 32, 33, 34, 35, 36, 38, 40]
+    flow_counts = [n for n in flow_counts if n <= max_flows]
+    rows = []
+    collapse = {}
+    for n in flow_counts:
+        cells = [n]
+        for protocol in (dctcp_testbed(), dt_dctcp_testbed()):
+            point = run_incast_point(protocol, n, n_queries=10)
+            cells.extend(
+                [point.goodput_bps / 1e6, point.queries_with_timeouts]
+            )
+            if (
+                protocol.name not in collapse
+                and point.goodput_bps < 0.5e9
+            ):
+                collapse[protocol.name] = n
+        rows.append(tuple(cells))
+    print_table(
+        [
+            "flows",
+            "DCTCP Mbps",
+            "DCTCP bad queries",
+            "DT-DCTCP Mbps",
+            "DT-DCTCP bad queries",
+        ],
+        rows,
+        title="Incast: 64 KB per worker, barrier-synchronized "
+        "(10 queries per point)",
+    )
+    print(
+        f"collapse points: DCTCP at {collapse.get('DCTCP', '> sweep')} "
+        f"flows, DT-DCTCP at {collapse.get('DT-DCTCP', '> sweep')} flows "
+        "(paper: 32 vs 37)"
+    )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 40)

@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Scriptable studies with the declarative scenario API.
+
+Everything the other examples do by wiring objects together can be
+driven by plain data.  This script runs a two-axis study — marking
+mechanism x threshold placement — from a list of dictionaries, the way
+an external sweep driver (or a JSON config) would.
+
+Run:  python examples/parameter_sweep.py
+"""
+
+from repro.experiments.tables import print_table
+from repro.sim import Scenario, run_scenario
+
+STUDY = [
+    {"protocol": "dctcp", "thresholds": [20]},
+    {"protocol": "dctcp", "thresholds": [40]},
+    {"protocol": "dctcp", "thresholds": [80]},
+    {"protocol": "dt-dctcp", "thresholds": [15, 25]},
+    {"protocol": "dt-dctcp", "thresholds": [30, 50]},
+    {"protocol": "dt-dctcp", "thresholds": [60, 100]},
+    {"protocol": "ecn-reno", "thresholds": [40]},
+]
+
+COMMON = {"n_flows": 10, "duration": 0.03, "warmup": 0.012}
+
+
+def main() -> None:
+    rows = []
+    for spec in STUDY:
+        scenario = Scenario.from_dict({**COMMON, **spec})
+        result = run_scenario(scenario)
+        rows.append(
+            (
+                scenario.protocol,
+                "/".join(str(t) for t in scenario.thresholds),
+                result.mean_queue,
+                result.std_queue,
+                result.goodput_bps / 1e9,
+            )
+        )
+    print_table(
+        ["protocol", "thresholds", "mean queue", "std", "goodput (Gbps)"],
+        rows,
+        title="Threshold-placement study, 10 flows on 10 Gbps "
+        "(declarative scenarios)",
+    )
+    print(
+        "Low thresholds trade throughput headroom for latency; the "
+        "double threshold keeps the std low wherever the band sits."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,20 @@
+#!/usr/bin/env python
+"""Queue buildup: what the standing queue costs latency-sensitive flows.
+
+The scenario behind the paper's motivation (Section I): soft real-time
+services need low, predictable latency while bulk jobs need throughput,
+*on the same network*.  Two long-lived flows keep a 10 Gbps bottleneck
+saturated; a Poisson stream of 20 KB short transfers measures what a
+user-facing RPC would experience.
+
+DropTail lets the long flows fill the buffer, so every short flow waits
+behind hundreds of packets; DCTCP pins the queue near K; DT-DCTCP's
+hysteresis pins it slightly lower and steadier still.
+
+Run:  python examples/short_flow_latency.py
+"""
+
+from repro.experiments.queue_buildup import main
+
+if __name__ == "__main__":
+    main()

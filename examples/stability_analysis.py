@@ -1,0 +1,128 @@
+#!/usr/bin/env python
+"""Walk through the paper's describing-function analysis, numerically.
+
+Reproduces the reasoning of Sections IV-V step by step:
+
+1. the marking nonlinearities and their describing functions
+   (Eq. 22/27), cross-checked against Fourier integration of the live
+   marker state machines;
+2. the linearised plant G(jw) (Eq. 13-18) and its phase crossover;
+3. the Nyquist-plane comparison: stability margin vs flow count for
+   both mechanisms, the predicted limit cycle where DCTCP's margin
+   closes, and the DT-DCTCP margin that never does (Figure 9).
+
+Run:  python examples/stability_analysis.py
+"""
+
+import math
+
+from repro.core import (
+    calibrate_gain_scale,
+    critical_flow_count,
+    df_double_threshold,
+    df_single_threshold,
+    numeric_df_from_marker,
+    paper_dctcp,
+    paper_dt_dctcp,
+    paper_network,
+    predicted_limit_cycle,
+    stability_margin,
+)
+from repro.core.marking import DoubleThresholdMarker, SingleThresholdMarker
+from repro.core.nyquist import principal_phase_crossover
+from repro.experiments.tables import print_table
+
+
+def step1_describing_functions() -> None:
+    print("== Step 1: describing functions of the marking mechanisms ==\n")
+    rows = []
+    for ratio in (1.2, 1.6, 2.4):
+        x = 40.0 * ratio
+        closed = df_single_threshold(x, 40.0)
+        live = numeric_df_from_marker(
+            SingleThresholdMarker.from_threshold(40.0), x
+        )
+        rows.append(("DCTCP", x, f"{closed:.6f}", abs(closed - live)))
+        x = 50.0 * ratio
+        closed = df_double_threshold(x, 30.0, 50.0)
+        live = numeric_df_from_marker(
+            DoubleThresholdMarker.from_thresholds(30.0, 50.0), x
+        )
+        rows.append(("DT-DCTCP", x, f"{closed:.6f}", abs(closed - live)))
+    print_table(
+        ["mechanism", "amplitude X", "N(X) closed form", "|err| vs live marker"],
+        rows,
+        title="Eq. 22 / Eq. 27 against the simulator's marker objects",
+    )
+    print(
+        "DT-DCTCP's DF has a positive imaginary part - phase lead - "
+        "which is the analytic fingerprint of start-early/stop-early "
+        "hysteresis.\n"
+    )
+
+
+def step2_plant() -> None:
+    print("== Step 2: the linearised plant G(jw) ==\n")
+    rows = []
+    for n in (10, 40, 60, 100):
+        crossover = principal_phase_crossover(
+            paper_network(n), paper_dctcp()
+        )
+        rows.append(
+            (n, crossover.frequency, abs(crossover.value))
+        )
+    print_table(
+        ["N", "phase-crossover w (rad/s)", "|K0 G(jw180)|"],
+        rows,
+        title="Where the loop phase reaches -180 degrees (Eq. 18)",
+    )
+    print(
+        "The crossover magnitude peaks near N ~ 55: the loop is least "
+        "stable exactly where the paper reports oscillation onset.  "
+        f"(max(-1/N0dc) = -pi = {-math.pi:.3f} is the landmark it "
+        "must reach.)\n"
+    )
+
+
+def step3_margins() -> None:
+    print("== Step 3: Nyquist margins and the limit cycle (Figure 9) ==\n")
+    base = paper_network(10)
+    dc, dt = paper_dctcp(), paper_dt_dctcp()
+    scale = calibrate_gain_scale(base, dc, onset_flows=60)
+    flow_counts = list(range(10, 101, 10))
+    rows = []
+    for n in flow_counts:
+        net = paper_network(n)
+        rows.append(
+            (
+                n,
+                stability_margin(net, dc, loop_gain_scale=scale),
+                stability_margin(net, dt, loop_gain_scale=scale),
+            )
+        )
+    print_table(
+        ["N", "DCTCP margin", "DT-DCTCP margin"],
+        rows,
+        title=f"Stability margins at calibrated gain scale {scale:.2f}",
+    )
+    onset = critical_flow_count(base, dc, range(10, 101, 5), scale)
+    print(f"DCTCP margin closes at N = {onset}; DT-DCTCP's never does.")
+    cycle = predicted_limit_cycle(
+        paper_network(55), dc, loop_gain_scale=scale * 1.1, margin_tol=0.05
+    )
+    if cycle is not None:
+        print(
+            f"Just past onset, DCTCP's predicted stable limit cycle: "
+            f"amplitude {cycle.amplitude:.1f} packets, period "
+            f"{cycle.period * 1e6:.0f} us (~{cycle.period / 100e-6:.1f} RTTs)"
+        )
+
+
+def main() -> None:
+    step1_describing_functions()
+    step2_plant()
+    step3_margins()
+
+
+if __name__ == "__main__":
+    main()

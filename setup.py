@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Kept so ``pip install -e .`` works in offline environments without the
+``wheel`` package (pip then uses the classic ``setup.py develop`` path).
+All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,215 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Commands:
+
+* ``analyze``   — DF stability work-up for one configuration
+                  (margin, sufficient condition, predicted limit cycle);
+* ``figure``    — regenerate one paper figure's table (1, 2, 4, 6, 7,
+                  9, 10, 11, 12, 13, 14, 15) or ``all``;
+* ``simulate``  — one dumbbell run with chosen protocol and flow count,
+                  printing queue statistics;
+* ``incast``    — one incast point on the testbed.
+
+Examples::
+
+    python -m repro.cli analyze --flows 55 --protocol dt-dctcp
+    python -m repro.cli figure 14 --quick
+    python -m repro.cli simulate --flows 20 --protocol dctcp --duration 0.03
+    python -m repro.cli incast --flows 35 --protocol dctcp
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.core import (
+    analyze,
+    calibrate_gain_scale,
+    paper_dctcp,
+    paper_dt_dctcp,
+    paper_network,
+)
+from repro.experiments import full_scale, quick_scale
+from repro.experiments.protocols import (
+    dctcp_sim,
+    dctcp_testbed,
+    dt_dctcp_sim,
+    dt_dctcp_testbed,
+)
+from repro.experiments.tables import print_table
+
+__all__ = ["main"]
+
+FIGURES = {
+    "1": "repro.experiments.fig01_oscillation",
+    "2": "repro.experiments.fig02_marking",
+    "4": "repro.experiments.fig04_criterion",
+    "6": "repro.experiments.fig06_08_df",
+    "7": "repro.experiments.fig07_nyquist_loci",
+    "8": "repro.experiments.fig06_08_df",
+    "9": "repro.experiments.fig09_critical_n",
+    "10": "repro.experiments.fig10_avg_queue",
+    "11": "repro.experiments.fig11_std_dev",
+    "12": "repro.experiments.fig12_alpha",
+    "13": "repro.experiments.fig13_topology",
+    "14": "repro.experiments.fig14_incast",
+    "15": "repro.experiments.fig15_completion_time",
+}
+
+#: Figure mains that accept a Scale argument.
+SCALED_FIGURES = {"1", "10", "11", "12", "14", "15"}
+
+
+def _protocol_params(name: str):
+    if name == "dctcp":
+        return paper_dctcp()
+    if name == "dt-dctcp":
+        return paper_dt_dctcp()
+    raise ValueError(f"unknown protocol {name!r}")
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    net = paper_network(args.flows, g=args.g)
+    params = _protocol_params(args.protocol)
+    scale = (
+        args.gain_scale
+        if args.gain_scale is not None
+        else calibrate_gain_scale(paper_network(10), paper_dctcp(), 60)
+    )
+    report = analyze(net, params, loop_gain_scale=scale)
+    rows = [
+        ("flows", args.flows),
+        ("gain scale", scale),
+        ("sufficient condition (Thm 1/2)", report.sufficient_condition),
+        ("stability margin", report.margin),
+        ("oscillation predicted", report.oscillation_predicted),
+    ]
+    if report.oscillation_predicted:
+        rows.append(("limit-cycle amplitude (pkts)", report.predicted_amplitude))
+        rows.append(("limit-cycle frequency (rad/s)", report.predicted_frequency))
+    print_table(["quantity", "value"], rows,
+                title=f"DF stability analysis - {args.protocol}")
+    return 0
+
+
+def cmd_figure(args: argparse.Namespace) -> int:
+    scale = quick_scale() if args.quick else full_scale()
+    if args.id == "all":
+        from repro.experiments.runner import run_all
+
+        run_all(quick=args.quick)
+        return 0
+    module_name = FIGURES.get(args.id)
+    if module_name is None:
+        print(f"unknown figure {args.id!r}; choose from "
+              f"{sorted(FIGURES)} or 'all'", file=sys.stderr)
+        return 2
+    import importlib
+
+    module = importlib.import_module(module_name)
+    if args.id in SCALED_FIGURES:
+        module.main(scale)
+    else:
+        module.main()
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.sim.apps.bulk import launch_bulk_flows
+    from repro.sim.topology import dumbbell
+    from repro.sim.trace import QueueMonitor
+
+    protocol = dctcp_sim() if args.protocol == "dctcp" else dt_dctcp_sim()
+    network = dumbbell(args.flows, protocol.marker_factory, rtt=args.rtt)
+    flows = launch_bulk_flows(network, sender_cls=protocol.sender_cls)
+    monitor = QueueMonitor(network.sim, network.bottleneck_queue, 20e-6)
+    monitor.start()
+    network.sim.run(until=args.duration)
+    queue = monitor.series(after=args.duration * 0.4)
+    delivered = sum(f.receiver.packets_received for f in flows)
+    alphas = [f.sender.alpha for f in flows]
+    print_table(
+        ["quantity", "value"],
+        [
+            ("protocol", protocol.name),
+            ("flows", args.flows),
+            ("mean queue (pkts)", float(queue.mean())),
+            ("std queue (pkts)", float(queue.std())),
+            ("mean alpha", sum(alphas) / len(alphas)),
+            ("goodput (Gbps)", delivered * 1500 * 8 / args.duration / 1e9),
+            ("marks", network.bottleneck_queue.stats.marked),
+            ("drops", network.bottleneck_queue.stats.dropped),
+            ("events processed", network.sim.events_processed),
+        ],
+        title="dumbbell simulation",
+    )
+    return 0
+
+
+def cmd_incast(args: argparse.Namespace) -> int:
+    from repro.experiments.fig14_incast import run_incast_point
+
+    protocol = (
+        dctcp_testbed() if args.protocol == "dctcp" else dt_dctcp_testbed()
+    )
+    point = run_incast_point(protocol, args.flows, n_queries=args.queries)
+    print_table(
+        ["quantity", "value"],
+        [
+            ("protocol", point.protocol),
+            ("flows", point.n_flows),
+            ("goodput (Mbps)", point.goodput_bps / 1e6),
+            ("queries", point.queries),
+            ("queries with timeouts", point.queries_with_timeouts),
+            ("total timeouts", point.total_timeouts),
+        ],
+        title="incast point",
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("analyze", help="DF stability work-up")
+    p.add_argument("--flows", type=int, default=55)
+    p.add_argument("--protocol", choices=["dctcp", "dt-dctcp"],
+                   default="dctcp")
+    p.add_argument("--g", type=float, default=1 / 16)
+    p.add_argument("--gain-scale", type=float, default=None,
+                   help="loop gain scale (default: Figure 9 calibration)")
+    p.set_defaults(func=cmd_analyze)
+
+    p = sub.add_parser("figure", help="regenerate one paper figure")
+    p.add_argument("id", help="figure number or 'all'")
+    p.add_argument("--quick", action="store_true")
+    p.set_defaults(func=cmd_figure)
+
+    p = sub.add_parser("simulate", help="one dumbbell run")
+    p.add_argument("--flows", type=int, default=10)
+    p.add_argument("--protocol", choices=["dctcp", "dt-dctcp"],
+                   default="dctcp")
+    p.add_argument("--duration", type=float, default=0.03)
+    p.add_argument("--rtt", type=float, default=100e-6)
+    p.set_defaults(func=cmd_simulate)
+
+    p = sub.add_parser("incast", help="one incast point on the testbed")
+    p.add_argument("--flows", type=int, default=32)
+    p.add_argument("--protocol", choices=["dctcp", "dt-dctcp"],
+                   default="dctcp")
+    p.add_argument("--queries", type=int, default=10)
+    p.set_defaults(func=cmd_incast)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,283 @@
+"""ECN marking mechanisms — the paper's primary contribution.
+
+The same marking objects drive both the fluid model (queried with a
+continuous queue level) and the packet simulator (queried on every packet
+arrival at a switch output queue).
+
+* :class:`SingleThresholdMarker` is DCTCP's stock rule: mark the arriving
+  packet iff the instantaneous queue occupancy is at least ``K``
+  (Figure 2a).
+* :class:`DoubleThresholdMarker` is DT-DCTCP (Figure 2b): a direction-
+  tracking hysteresis loop.  Marking turns ON when the queue rises through
+  the *lower* threshold ``K1`` and turns OFF when the queue falls through
+  the *higher* threshold ``K2`` — start early, stop early.  For a
+  sinusoidal queue this produces exactly the waveform integrated in the
+  paper's Figure 8 (ON for phase ``arcsin(K1/X) .. pi - arcsin(K2/X)``).
+* :class:`REDMarker` is a classic RED probabilistic marker, included as an
+  extra baseline for the ablation benches.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Protocol, runtime_checkable
+
+from repro.core.parameters import DoubleThresholdParams, SingleThresholdParams
+
+__all__ = [
+    "Marker",
+    "SingleThresholdMarker",
+    "DoubleThresholdMarker",
+    "REDMarker",
+    "NullMarker",
+    "DEFAULT_DIRECTION_DEADBAND",
+]
+
+#: Direction deadband (packets) for DT-DCTCP hysteresis at packet
+#: granularity: wide enough to reject the +-1 packet arrival jitter,
+#: narrow enough to stay well inside the paper's 20-packet threshold
+#: gap.  Configurations with narrower gaps must shrink it accordingly.
+DEFAULT_DIRECTION_DEADBAND = 2.0
+
+
+@runtime_checkable
+class Marker(Protocol):
+    """Decides, per packet arrival, whether to set the CE codepoint.
+
+    Implementations may be stateful (DT-DCTCP tracks queue direction),
+    so a fresh marker must be created per queue.
+    """
+
+    def should_mark(self, queue_length: float) -> bool:
+        """Return True iff a packet arriving at ``queue_length`` is marked."""
+        ...
+
+    def reset(self) -> None:
+        """Forget any internal state (direction memory, averages)."""
+        ...
+
+
+class NullMarker:
+    """Never marks; models a plain DropTail queue."""
+
+    def should_mark(self, queue_length: float) -> bool:
+        return False
+
+    def reset(self) -> None:
+        return None
+
+    def __repr__(self) -> str:
+        return "NullMarker()"
+
+
+class SingleThresholdMarker:
+    """DCTCP marking: CE set iff instantaneous queue >= K (Figure 2a).
+
+    The rule is memoryless; in control terms it is an ideal relay with
+    dead zone ``K``, whose describing function is the paper's Eq. (22).
+    """
+
+    def __init__(self, params: SingleThresholdParams):
+        self.params = params
+
+    @classmethod
+    def from_threshold(cls, k: float) -> "SingleThresholdMarker":
+        return cls(SingleThresholdParams(k=k))
+
+    def should_mark(self, queue_length: float) -> bool:
+        return queue_length >= self.params.k
+
+    def reset(self) -> None:
+        return None
+
+    def __repr__(self) -> str:
+        return f"SingleThresholdMarker(k={self.params.k})"
+
+
+class DoubleThresholdMarker:
+    """DT-DCTCP marking: hysteresis between ``K1`` (start) and ``K2`` (stop).
+
+    Causal state machine realising the paper's Figure 8 waveform:
+
+    * ``q >= K2``            -> marking ON (unambiguously congested);
+    * ``q <  K1``            -> marking OFF (unambiguously uncongested);
+    * ``K1 <= q < K2``       -> ON while the queue is rising, OFF while it
+      is falling, previous state held while it is flat.
+
+    The queue direction is inferred from a reference sample: the state
+    flips to ON once the queue has risen more than ``deadband`` above the
+    reference (which then catches up) and to OFF once it has fallen more
+    than ``deadband`` below it.  ``deadband = 0`` compares successive
+    samples exactly — right for the smooth fluid-model queue.  The packet
+    simulator uses a small positive deadband (a couple of packets)
+    because the instantaneous queue jitters by +-1 packet between
+    consecutive arrivals even when its trend is strongly one-sided; the
+    deadband rejects that jitter while following the multi-RTT
+    oscillation the mechanism is designed to damp.
+
+    ``reset()`` restores the initial un-marked, unknown-direction state.
+    """
+
+    def __init__(self, params: DoubleThresholdParams, deadband: float = 0.0):
+        if deadband < 0:
+            raise ValueError(f"deadband must be >= 0, got {deadband}")
+        self.params = params
+        self.deadband = deadband
+        self._marking = False
+        self._reference: Optional[float] = None
+
+    @classmethod
+    def from_thresholds(
+        cls, k1: float, k2: float, deadband: float = 0.0
+    ) -> "DoubleThresholdMarker":
+        return cls(DoubleThresholdParams(k1=k1, k2=k2), deadband=deadband)
+
+    @property
+    def marking(self) -> bool:
+        """Current state of the marking relay (True = CE being set)."""
+        return self._marking
+
+    def should_mark(self, queue_length: float) -> bool:
+        k1 = self.params.k1
+        k2 = self.params.k2
+        if queue_length >= k2:
+            self._marking = True
+            self._reference = queue_length
+        elif queue_length < k1:
+            self._marking = False
+            self._reference = queue_length
+        elif self._reference is None:
+            self._reference = queue_length
+        elif queue_length > self._reference + self.deadband:
+            self._marking = True
+            self._reference = queue_length
+        elif queue_length < self._reference - self.deadband:
+            self._marking = False
+            self._reference = queue_length
+        # otherwise: within the deadband -> hysteresis holds the state
+        return self._marking
+
+    def observe(self, queue_length: float) -> bool:
+        """Update direction state without an arriving packet.
+
+        The fluid model calls this on every integration step so that the
+        hysteresis state follows the continuous queue trajectory.
+        Returns the post-update marking state.
+        """
+        return self.should_mark(queue_length)
+
+    def reset(self) -> None:
+        self._marking = False
+        self._reference = None
+
+    def __repr__(self) -> str:
+        return (
+            f"DoubleThresholdMarker(k1={self.params.k1}, k2={self.params.k2}, "
+            f"deadband={self.deadband}, marking={self._marking})"
+        )
+
+
+class REDMarker:
+    """Random Early Detection marking on the EWMA average queue.
+
+    Included as an ablation baseline: RED marks *probabilistically* on an
+    *averaged* queue, whereas both paper mechanisms mark deterministically
+    on the instantaneous queue.  Between ``min_th`` and ``max_th`` the
+    marking probability rises linearly to ``max_p``; above ``max_th``
+    every packet is marked.
+    """
+
+    def __init__(
+        self,
+        min_th: float,
+        max_th: float,
+        max_p: float = 0.1,
+        weight: float = 0.002,
+        rng=None,
+    ):
+        if min_th <= 0:
+            raise ValueError(f"min_th must be positive, got {min_th}")
+        if max_th <= min_th:
+            raise ValueError(
+                f"RED requires min_th < max_th, got {min_th} >= {max_th}"
+            )
+        if not 0.0 < max_p <= 1.0:
+            raise ValueError(f"max_p must lie in (0, 1], got {max_p}")
+        if not 0.0 < weight <= 1.0:
+            raise ValueError(f"weight must lie in (0, 1], got {weight}")
+        self.min_th = min_th
+        self.max_th = max_th
+        self.max_p = max_p
+        self.weight = weight
+        self._avg: Optional[float] = None
+        if rng is None:
+            import random
+
+            rng = random.Random(0)
+        self._rng = rng
+
+    @property
+    def average_queue(self) -> float:
+        """Current EWMA queue estimate (0 before any observation)."""
+        return 0.0 if self._avg is None else self._avg
+
+    def marking_probability(self, average_queue: float) -> float:
+        """RED's piecewise-linear probability profile."""
+        if average_queue < self.min_th:
+            return 0.0
+        if average_queue >= self.max_th:
+            return 1.0
+        frac = (average_queue - self.min_th) / (self.max_th - self.min_th)
+        return self.max_p * frac
+
+    def should_mark(self, queue_length: float) -> bool:
+        if self._avg is None:
+            self._avg = queue_length
+        else:
+            self._avg += self.weight * (queue_length - self._avg)
+        prob = self.marking_probability(self._avg)
+        if prob <= 0.0:
+            return False
+        if prob >= 1.0:
+            return True
+        return self._rng.random() < prob
+
+    def reset(self) -> None:
+        self._avg = None
+
+    def __repr__(self) -> str:
+        return (
+            f"REDMarker(min_th={self.min_th}, max_th={self.max_th}, "
+            f"max_p={self.max_p}, weight={self.weight})"
+        )
+
+
+def marking_waveform_single(
+    phase: float, amplitude: float, k: float, offset: float = 0.0
+) -> float:
+    """Marking output of DCTCP for the DF test signal ``q = offset + X sin(wt)``.
+
+    Returns 1.0 where the paper's Figure 6 waveform is ON.  Used by the
+    numeric describing-function validation.
+    """
+    q = offset + amplitude * math.sin(phase)
+    return 1.0 if q >= k else 0.0
+
+
+def marking_waveform_double(
+    phase: float, amplitude: float, k1: float, k2: float, offset: float = 0.0
+) -> float:
+    """Marking output of DT-DCTCP for ``q = offset + X sin(wt)``.
+
+    ON exactly for phase in ``[arcsin((k1-offset)/X), pi - arcsin((k2-offset)/X)]``
+    (mod 2*pi), the paper's Figure 8 waveform.  Requires ``X >= k2 - offset``.
+    """
+    x1 = (k1 - offset) / amplitude
+    x2 = (k2 - offset) / amplitude
+    if x2 > 1.0:
+        # Queue never reaches the stop threshold: hysteresis never engages.
+        return 0.0
+    phi1 = math.asin(min(1.0, max(-1.0, x1)))
+    phi2 = math.pi - math.asin(x2)
+    p = phase % (2.0 * math.pi)
+    return 1.0 if phi1 <= p <= phi2 else 0.0

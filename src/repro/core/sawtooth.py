@@ -1,0 +1,98 @@
+"""Sawtooth steady-state model of DCTCP (Alizadeh et al., SIGCOMM 2010).
+
+The paper's reference [3] derives a deterministic model of N
+synchronized DCTCP flows: windows grow additively until the queue
+crosses ``K``, one RTT of packets gets marked, every sender cuts by
+``alpha/2``, and the cycle repeats.  Its closed forms predict the
+queue sawtooth the ICDCS paper's Figure 1 shows and give analytic
+backing to Figure 11's growth of oscillation with N:
+
+* critical window  ``W* = (C R0 + K) / N``    (queue hits K)
+* steady alpha     ``alpha = sqrt(2 / W*)``   (for small alpha)
+* per-flow cut     ``D = W* alpha / 2``
+* queue amplitude  ``A = N D = sqrt(N (C R0 + K) / 2)``   — grows like
+  sqrt(N);
+* queue minimum    ``Q_min = K - A`` (clipped at zero: if the amplitude
+  exceeds K the queue drains empty and throughput suffers — the reason
+  the paper wants marking to *stop early*);
+* period           ``T = D * R0`` (one packet of window growth per RTT).
+
+These formulas assume perfect synchronization, so they are an *upper
+envelope* for the oscillation: desynchronized flows average out (the
+packet simulator shows exactly that in the large-N minimum-window
+regime).  The model complements the DF analysis: DF predicts *whether*
+and at what frequency the closed loop oscillates; the sawtooth predicts
+the synchronized-case amplitude scaling.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from repro.core.parameters import NetworkParams, SingleThresholdParams
+
+__all__ = ["SawtoothPrediction", "predict"]
+
+
+@dataclasses.dataclass(frozen=True)
+class SawtoothPrediction:
+    """Closed-form steady-cycle quantities for N synchronized flows."""
+
+    #: Per-flow window at which the queue reaches K (packets).
+    critical_window: float
+    #: Steady-state marked fraction estimate.
+    alpha: float
+    #: Per-flow window reduction each cycle (packets).
+    window_cut: float
+    #: Peak-to-trough queue swing ``A = N * window_cut`` (packets).
+    amplitude: float
+    #: Queue maximum (one RTT of overshoot past K) (packets).
+    queue_max: float
+    #: Queue minimum, clipped at zero (packets).
+    queue_min: float
+    #: Cycle period (seconds).
+    period: float
+    #: True when the cycle drains the queue empty (throughput at risk).
+    underflows: bool
+
+    @property
+    def oscillation_std_estimate(self) -> float:
+        """Standard deviation of an ideal triangle wave of this amplitude.
+
+        ``std = A / (2 sqrt(3))`` — comparable against measured queue
+        standard deviations (Figure 11's y-axis).
+        """
+        return self.amplitude / (2.0 * math.sqrt(3.0))
+
+
+def predict(net: NetworkParams, params: SingleThresholdParams) -> SawtoothPrediction:
+    """Evaluate the sawtooth closed forms for this configuration.
+
+    Follows SIGCOMM 2010 Section 3.3's analysis with the small-alpha
+    approximation ``alpha ~ sqrt(2/W*)`` (valid while ``W* >> 1``; for
+    the ICDCS paper's pipe that means N well below ``R0 C / 2``).
+    """
+    k = params.k
+    w_star = (net.capacity * net.rtt + k) / net.n_flows
+    if w_star < 2.0:
+        raise ValueError(
+            f"sawtooth model needs W* >= 2 packets, got {w_star:.2f} "
+            f"(N={net.n_flows} beyond the synchronized-regime validity)"
+        )
+    alpha = math.sqrt(2.0 / w_star)
+    cut = w_star * alpha / 2.0
+    amplitude = net.n_flows * cut
+    queue_max = k + net.n_flows  # one more packet per flow past K
+    queue_min = queue_max - amplitude
+    period = cut * net.rtt
+    return SawtoothPrediction(
+        critical_window=w_star,
+        alpha=alpha,
+        window_cut=cut,
+        amplitude=amplitude,
+        queue_max=queue_max,
+        queue_min=max(queue_min, 0.0),
+        period=period,
+        underflows=queue_min < 0.0,
+    )

@@ -1,0 +1,132 @@
+"""Linearised DCTCP fluid-model plant (paper Section V-A, Eq. 13-18).
+
+Linearising the fluid model (Eq. 1-3) about the operating point
+``W0 = R0 C / N``, ``alpha0 = p0 = sqrt(2/W0)`` and Laplace-transforming
+gives three cascaded first-order blocks:
+
+    P_alpha(s) = (g/R0) / (s + g/R0)                       (Eq. 13)
+    P_queue(s) = (N/R0) / (s + 1/R0)                       (Eq. 14)
+    P_dctcp(s) = -sqrt(C/(2 N R0)) (s + 2g/R0)/(g/R0)
+                  / (s + N/(R0^2 C))                       (Eq. 15)
+
+    P(s) = -P_alpha(s) P_dctcp(s) P_queue(s)               (Eq. 16-17)
+    G(jw) = P(jw) e^{-j w R0}                              (Eq. 18)
+
+``P(s)`` has positive DC gain; the feedback minus sign of Eq. (16) is
+already absorbed, so the loop oscillates where ``K0 G(jw) = -1/N0(X)``
+(the characteristic equation of Theorems 1 and 2).
+
+All evaluators accept scalars or numpy arrays of (complex) frequencies.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple, Union
+
+import numpy as np
+
+from repro.core.parameters import NetworkParams
+
+__all__ = [
+    "p_alpha",
+    "p_queue",
+    "p_dctcp",
+    "plant",
+    "open_loop",
+    "plant_poles",
+    "plant_zero",
+    "dc_gain",
+    "plant_rational_coefficients",
+]
+
+ComplexLike = Union[complex, float, np.ndarray]
+
+
+def p_alpha(s: ComplexLike, net: NetworkParams) -> ComplexLike:
+    """Alpha-estimator block, Eq. (13): first-order lag with pole g/R0."""
+    a = net.g / net.rtt
+    return a / (np.asarray(s, dtype=complex) + a)
+
+
+def p_queue(s: ComplexLike, net: NetworkParams) -> ComplexLike:
+    """Queue-integrator block, Eq. (14): gain N/R0, pole 1/R0."""
+    return (net.n_flows / net.rtt) / (np.asarray(s, dtype=complex) + 1.0 / net.rtt)
+
+
+def p_dctcp(s: ComplexLike, net: NetworkParams) -> ComplexLike:
+    """Window-dynamics block, Eq. (15).
+
+    ``1 + (s + g/R0)/(g/R0)`` simplifies to ``(s + 2g/R0)/(g/R0)``; the
+    leading minus sign encodes that more marking shrinks the window.
+    """
+    s = np.asarray(s, dtype=complex)
+    g_over_r = net.g / net.rtt
+    gain = np.sqrt(net.capacity / (2.0 * net.n_flows * net.rtt))
+    pole = net.n_flows / (net.rtt**2 * net.capacity)
+    return -gain * ((s + 2.0 * g_over_r) / g_over_r) / (s + pole)
+
+
+def plant(s: ComplexLike, net: NetworkParams) -> ComplexLike:
+    """Delay-free plant ``P(s)``, Eq. (17) (positive DC gain).
+
+    ``P(s) = sqrt(C/(2 N R0)) (s + 2g/R0) (N/R0)
+             / ((s + g/R0)(s + N/(R0^2 C))(s + 1/R0))``
+    """
+    return -p_alpha(s, net) * p_dctcp(s, net) * p_queue(s, net)
+
+
+def open_loop(w: ComplexLike, net: NetworkParams) -> ComplexLike:
+    """Open-loop frequency response ``G(jw) = P(jw) e^{-j w R0}``, Eq. (18).
+
+    ``w`` is the angular frequency in rad/s (real); the exponential is the
+    one-RTT feedback delay of the marking signal.
+    """
+    w = np.asarray(w, dtype=float)
+    s = 1j * w
+    return plant(s, net) * np.exp(-1j * w * net.rtt)
+
+
+def plant_poles(net: NetworkParams) -> Tuple[float, float, float]:
+    """The three (real, stable) pole frequencies of ``P(s)`` in rad/s."""
+    return (
+        net.g / net.rtt,
+        net.n_flows / (net.rtt**2 * net.capacity),
+        1.0 / net.rtt,
+    )
+
+
+def plant_zero(net: NetworkParams) -> float:
+    """The single (real, stable) zero frequency of ``P(s)`` in rad/s."""
+    return 2.0 * net.g / net.rtt
+
+
+def dc_gain(net: NetworkParams) -> float:
+    """``P(0)``: closed form used to sanity-check the rational evaluation.
+
+    ``P(0) = sqrt(C/(2 N R0)) * (2g/R0) * (N/R0)
+             / ((g/R0) * (N/(R0^2 C)) * (1/R0))
+           = 2 R0 C sqrt(C R0 / (2 N))``
+    """
+    return (
+        2.0
+        * net.rtt
+        * net.capacity
+        * np.sqrt(net.capacity * net.rtt / (2.0 * net.n_flows))
+    )
+
+
+def plant_rational_coefficients(
+    net: NetworkParams,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """``(numerator, denominator)`` polynomial coefficients of ``P(s)``.
+
+    Highest power first (numpy.polyval convention).  Useful for root
+    locus / pole-zero tests and for consumers wanting a standard LTI
+    representation.
+    """
+    gain = np.sqrt(net.capacity / (2.0 * net.n_flows * net.rtt)) * (
+        net.n_flows / net.rtt
+    )
+    num = gain * np.array([1.0, plant_zero(net)])
+    den = np.poly([-p for p in plant_poles(net)]).real
+    return num, den

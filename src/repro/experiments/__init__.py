@@ -1,0 +1,29 @@
+"""Experiment harness: one module per paper figure.
+
+Each module exposes ``run(...)`` returning structured results and
+``main(...)`` printing the figure's table; ``runner.run_all()`` executes
+everything.  See DESIGN.md's experiment index for the figure-to-module
+mapping.
+"""
+
+from repro.experiments.config import Scale, full_scale, quick_scale
+from repro.experiments.protocols import (
+    ProtocolConfig,
+    dctcp_sim,
+    dctcp_testbed,
+    dt_dctcp_sim,
+    dt_dctcp_testbed,
+    ecn_red_baseline,
+)
+
+__all__ = [
+    "ProtocolConfig",
+    "Scale",
+    "dctcp_sim",
+    "dctcp_testbed",
+    "dt_dctcp_sim",
+    "dt_dctcp_testbed",
+    "ecn_red_baseline",
+    "full_scale",
+    "quick_scale",
+]

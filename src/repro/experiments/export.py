@@ -1,0 +1,80 @@
+"""Result export: write experiment tables to CSV/JSON for plotting.
+
+The harness prints human-readable tables; downstream users usually want
+the series as files.  ``write_csv`` and ``write_json`` take the same
+``(headers, rows)`` shape the table renderer does, so every experiment's
+output can be exported with one call.  ``export_sweep`` flattens the
+Figures 10-12 sweep structure.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence
+
+from repro.experiments.queue_sweep import SweepPoint
+
+__all__ = ["write_csv", "write_json", "export_sweep"]
+
+
+def write_csv(
+    path, headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> Path:
+    """Write one table to ``path`` (parent directories created)."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with open(target, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        for row in rows:
+            if len(row) != len(headers):
+                raise ValueError(
+                    f"row has {len(row)} cells but header has {len(headers)}"
+                )
+            writer.writerow(row)
+    return target
+
+
+def write_json(path, payload) -> Path:
+    """Write a JSON-serialisable result object to ``path``."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with open(target, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return target
+
+
+def export_sweep(
+    path, points: Dict[str, List[SweepPoint]]
+) -> Path:
+    """Flatten a Figures 10-12 sweep into one long-format CSV."""
+    headers = [
+        "protocol",
+        "n_flows",
+        "mean_queue",
+        "std_queue",
+        "mean_alpha",
+        "goodput_bps",
+        "timeouts",
+        "marks",
+        "drops",
+    ]
+    rows = [
+        (
+            p.protocol,
+            p.n_flows,
+            p.mean_queue,
+            p.std_queue,
+            p.mean_alpha,
+            p.goodput_bps,
+            p.timeouts,
+            p.marks,
+            p.drops,
+        )
+        for protocol_points in points.values()
+        for p in protocol_points
+    ]
+    return write_csv(path, headers, rows)

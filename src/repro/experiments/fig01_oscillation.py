@@ -1,0 +1,110 @@
+"""Figure 1: queue oscillation of DCTCP at N = 10 versus N = 100.
+
+The paper observes that with K = 40 packets and g = 1/16 on a 10 Gbps /
+100 us bottleneck, the DCTCP queue oscillates mildly at N = 10 but with
+"3 or 4 times" the amplitude at N = 100.  This experiment reproduces the
+two time series and reports the amplitude and standard-deviation ratios.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Tuple
+
+import numpy as np
+
+from repro.experiments.config import Scale, full_scale
+from repro.experiments.protocols import ProtocolConfig, dctcp_sim
+from repro.experiments.tables import print_table, sparkline
+from repro.sim.apps.bulk import launch_bulk_flows
+from repro.sim.topology import dumbbell
+from repro.sim.trace import QueueMonitor
+from repro.stats import oscillation_amplitude
+
+__all__ = ["OscillationResult", "queue_timeseries", "run", "main"]
+
+
+@dataclasses.dataclass(frozen=True)
+class OscillationResult:
+    """Queue trace statistics for the two flow counts."""
+
+    n_small: int
+    n_large: int
+    amplitude_small: float
+    amplitude_large: float
+    std_small: float
+    std_large: float
+    trace_small: Tuple[np.ndarray, np.ndarray]
+    trace_large: Tuple[np.ndarray, np.ndarray]
+
+    @property
+    def amplitude_ratio(self) -> float:
+        """How much larger the N-large oscillation is (paper: 3-4x)."""
+        if self.amplitude_small == 0:
+            return float("inf")
+        return self.amplitude_large / self.amplitude_small
+
+    @property
+    def std_ratio(self) -> float:
+        if self.std_small == 0:
+            return float("inf")
+        return self.std_large / self.std_small
+
+
+def queue_timeseries(
+    protocol: ProtocolConfig, n_flows: int, scale: Scale
+) -> Tuple[np.ndarray, np.ndarray]:
+    """``(times, queue_lengths)`` of one steady-state dumbbell run."""
+    network = dumbbell(n_flows, protocol.marker_factory)
+    launch_bulk_flows(network, sender_cls=protocol.sender_cls)
+    monitor = QueueMonitor(
+        network.sim, network.bottleneck_queue, interval=scale.sample_interval
+    )
+    monitor.start()
+    network.sim.run(until=scale.sim_duration)
+    return monitor.time_series(after=scale.warmup)
+
+
+def run(
+    scale: Scale = None, n_small: int = 10, n_large: int = 100
+) -> OscillationResult:
+    """Reproduce Figure 1's two panels."""
+    if scale is None:
+        scale = full_scale()
+    protocol = dctcp_sim()
+    trace_small = queue_timeseries(protocol, n_small, scale)
+    trace_large = queue_timeseries(protocol, n_large, scale)
+    return OscillationResult(
+        n_small=n_small,
+        n_large=n_large,
+        amplitude_small=oscillation_amplitude(trace_small[1]),
+        amplitude_large=oscillation_amplitude(trace_large[1]),
+        std_small=float(np.std(trace_small[1])),
+        std_large=float(np.std(trace_large[1])),
+        trace_small=trace_small,
+        trace_large=trace_large,
+    )
+
+
+def main(scale: Scale = None) -> OscillationResult:
+    result = run(scale)
+    print_table(
+        ["flows", "queue amplitude (pkts)", "queue std (pkts)"],
+        [
+            (result.n_small, result.amplitude_small, result.std_small),
+            (result.n_large, result.amplitude_large, result.std_large),
+        ],
+        title="Figure 1 - DCTCP queue oscillation grows with the flow count",
+    )
+    print(
+        f"amplitude ratio N={result.n_large} vs N={result.n_small}: "
+        f"{result.amplitude_ratio:.2f}x (paper: 3-4x); "
+        f"std ratio: {result.std_ratio:.2f}x"
+    )
+    print(f"queue, N={result.n_small:<3d} {sparkline(result.trace_small[1])}")
+    print(f"queue, N={result.n_large:<3d} {sparkline(result.trace_large[1])}")
+    return result
+
+
+if __name__ == "__main__":
+    main()

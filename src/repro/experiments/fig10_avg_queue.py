@@ -1,0 +1,84 @@
+"""Figure 10: average queue length versus flow count, normalised.
+
+The paper normalises each protocol's mean queue to its own N = 10
+baseline and reports that DCTCP's mean strays from ~N = 35 (reaching
+1.1-1.83x) while DT-DCTCP stays within 0.94-1.01x until N = 70.
+
+Two sweeps are provided: the paper's exact pipe (10 Gbps / 100 us,
+where N > ~41 pushes flows onto their minimum window — see
+EXPERIMENTS.md) and a deeper pipe (same rate, 400 us) in which the whole
+sweep stays ECN-controlled.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Tuple
+
+from repro.experiments.config import Scale, full_scale
+from repro.experiments.protocols import dctcp_sim, dt_dctcp_sim
+from repro.experiments.queue_sweep import SweepPoint, run_sweep
+from repro.experiments.tables import print_table
+
+__all__ = ["NormalizedSweep", "run", "main"]
+
+
+@dataclasses.dataclass(frozen=True)
+class NormalizedSweep:
+    """Mean-queue sweep with each protocol's N=10-style baseline."""
+
+    points: Dict[str, List[SweepPoint]]
+
+    def baseline(self, protocol: str) -> float:
+        return self.points[protocol][0].mean_queue
+
+    def normalized(self, protocol: str) -> List[Tuple[int, float]]:
+        base = self.baseline(protocol)
+        return [
+            (p.n_flows, p.mean_queue / base) for p in self.points[protocol]
+        ]
+
+    def max_deviation(self, protocol: str) -> float:
+        """Largest |normalised - 1| over the sweep (flatter = better)."""
+        return max(abs(v - 1.0) for _, v in self.normalized(protocol))
+
+
+def run(scale: Scale = None, rtt: float = 100e-6) -> NormalizedSweep:
+    if scale is None:
+        scale = full_scale()
+    points = run_sweep([dctcp_sim(), dt_dctcp_sim()], scale, rtt=rtt)
+    return NormalizedSweep(points=points)
+
+
+def main(scale: Scale = None, rtt: float = 100e-6) -> NormalizedSweep:
+    sweep = run(scale, rtt=rtt)
+    dc = dict(sweep.normalized("DCTCP"))
+    dt = dict(sweep.normalized("DT-DCTCP"))
+    raw_dc = {p.n_flows: p.mean_queue for p in sweep.points["DCTCP"]}
+    raw_dt = {p.n_flows: p.mean_queue for p in sweep.points["DT-DCTCP"]}
+    rows = [
+        (n, raw_dc[n], dc[n], raw_dt[n], dt[n])
+        for n in sorted(dc)
+    ]
+    print_table(
+        [
+            "N",
+            "DCTCP mean (pkts)",
+            "DCTCP / baseline",
+            "DT-DCTCP mean (pkts)",
+            "DT-DCTCP / baseline",
+        ],
+        rows,
+        title="Figure 10 - average queue length vs N "
+        "(normalised to each protocol's first point)",
+    )
+    print(
+        f"max |deviation from baseline|: DCTCP "
+        f"{sweep.max_deviation('DCTCP'):.2f}, DT-DCTCP "
+        f"{sweep.max_deviation('DT-DCTCP'):.2f} (paper: DT-DCTCP flatter)"
+    )
+    return sweep
+
+
+if __name__ == "__main__":
+    main()

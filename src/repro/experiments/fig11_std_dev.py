@@ -1,0 +1,71 @@
+"""Figure 11: standard deviation of the queue versus flow count.
+
+The paper's claim: both protocols' queue standard deviations grow with
+N (heavier oscillation), but at *every* flow count DT-DCTCP's standard
+deviation is smaller than DCTCP's.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List
+
+from repro.experiments.config import Scale, full_scale
+from repro.experiments.protocols import dctcp_sim, dt_dctcp_sim
+from repro.experiments.queue_sweep import SweepPoint, run_sweep
+from repro.experiments.tables import print_table
+
+__all__ = ["StdDevSweep", "run", "main"]
+
+
+@dataclasses.dataclass(frozen=True)
+class StdDevSweep:
+    """Std-dev columns of the shared Figures 10-12 sweep."""
+
+    points: Dict[str, List[SweepPoint]]
+
+    def fraction_dt_not_worse(self, slack: float = 1.05) -> float:
+        """Share of flow counts where DT-DCTCP's std <= DCTCP's * slack."""
+        dc = self.points["DCTCP"]
+        dt = self.points["DT-DCTCP"]
+        wins = sum(
+            1 for a, b in zip(dc, dt) if b.std_queue <= a.std_queue * slack
+        )
+        return wins / len(dc)
+
+    def grows_with_n(self, protocol: str) -> bool:
+        """Oscillation heavier at the top of the sweep than the bottom."""
+        pts = self.points[protocol]
+        return pts[-1].std_queue > pts[0].std_queue
+
+
+def run(scale: Scale = None, rtt: float = 100e-6) -> StdDevSweep:
+    if scale is None:
+        scale = full_scale()
+    return StdDevSweep(
+        points=run_sweep([dctcp_sim(), dt_dctcp_sim()], scale, rtt=rtt)
+    )
+
+
+def main(scale: Scale = None, rtt: float = 100e-6) -> StdDevSweep:
+    sweep = run(scale, rtt=rtt)
+    dc = sweep.points["DCTCP"]
+    dt = sweep.points["DT-DCTCP"]
+    rows = [
+        (a.n_flows, a.std_queue, b.std_queue, b.std_queue <= a.std_queue)
+        for a, b in zip(dc, dt)
+    ]
+    print_table(
+        ["N", "DCTCP std (pkts)", "DT-DCTCP std (pkts)", "DT smaller"],
+        rows,
+        title="Figure 11 - queue standard deviation vs N",
+    )
+    print(
+        f"DT-DCTCP not worse at {sweep.fraction_dt_not_worse():.0%} of flow "
+        "counts (paper: smaller at every N)"
+    )
+    return sweep
+
+
+if __name__ == "__main__":
+    main()

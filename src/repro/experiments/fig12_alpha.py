@@ -1,0 +1,76 @@
+"""Figure 12: the congestion-extent parameter alpha versus flow count.
+
+The paper samples ``alpha`` across senders and reports that (i) both
+protocols' alphas grow with N (the network gets more congested) and
+(ii) DT-DCTCP's alpha is consistently below DCTCP's (by ~0.1) — the
+DT-DCTCP network is less congested.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List
+
+from repro.experiments.config import Scale, full_scale
+from repro.experiments.protocols import dctcp_sim, dt_dctcp_sim
+from repro.experiments.queue_sweep import SweepPoint, run_sweep
+from repro.experiments.tables import print_table
+
+__all__ = ["AlphaSweep", "run", "main"]
+
+
+@dataclasses.dataclass(frozen=True)
+class AlphaSweep:
+    """Alpha columns of the shared Figures 10-12 sweep."""
+
+    points: Dict[str, List[SweepPoint]]
+
+    def fraction_dt_not_higher(self, slack: float = 0.02) -> float:
+        """Share of flow counts where DT's alpha <= DCTCP's + slack."""
+        dc = self.points["DCTCP"]
+        dt = self.points["DT-DCTCP"]
+        wins = sum(
+            1 for a, b in zip(dc, dt) if b.mean_alpha <= a.mean_alpha + slack
+        )
+        return wins / len(dc)
+
+    def grows_with_n(self, protocol: str) -> bool:
+        pts = self.points[protocol]
+        return pts[-1].mean_alpha > pts[0].mean_alpha
+
+
+def run(scale: Scale = None, rtt: float = 100e-6) -> AlphaSweep:
+    if scale is None:
+        scale = full_scale()
+    return AlphaSweep(
+        points=run_sweep([dctcp_sim(), dt_dctcp_sim()], scale, rtt=rtt)
+    )
+
+
+def main(scale: Scale = None, rtt: float = 100e-6) -> AlphaSweep:
+    sweep = run(scale, rtt=rtt)
+    dc = sweep.points["DCTCP"]
+    dt = sweep.points["DT-DCTCP"]
+    rows = [
+        (
+            a.n_flows,
+            a.mean_alpha,
+            b.mean_alpha,
+            a.mean_alpha - b.mean_alpha,
+        )
+        for a, b in zip(dc, dt)
+    ]
+    print_table(
+        ["N", "DCTCP alpha", "DT-DCTCP alpha", "difference"],
+        rows,
+        title="Figure 12 - mean congestion-extent estimate alpha vs N",
+    )
+    print(
+        f"DT-DCTCP alpha not higher at {sweep.fraction_dt_not_higher():.0%} "
+        "of flow counts (paper: lower by ~0.1 throughout)"
+    )
+    return sweep
+
+
+if __name__ == "__main__":
+    main()

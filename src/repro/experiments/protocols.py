@@ -1,0 +1,119 @@
+"""Canonical protocol configurations used across all experiments.
+
+The paper evaluates two switch configurations in two environments:
+
+* **simulation** (Section VI-A): 10 Gbps, RTT 100 us, thresholds in
+  packets — K = 40 for DCTCP; K1 = 30, K2 = 50 for DT-DCTCP, g = 1/16;
+* **testbed** (Section VI-B): 1 Gbps, thresholds in KB — K = 32 KB for
+  DCTCP; DT-DCTCP thresholds straddling it.  The paper's testbed lists
+  "K1 = 34KB, K2 = 28KB", with the larger value first — inconsistent
+  with its own analysis convention (K1 < K2), so we read it as the pair
+  {28 KB, 34 KB} with marking starting at the lower and stopping at the
+  higher, per Sections III-V.
+
+A :class:`ProtocolConfig` bundles a display name, a marker factory for
+the switch, and the sender class — everything a topology builder and an
+experiment need.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Type
+
+from repro.core.marking import (
+    DoubleThresholdMarker,
+    Marker,
+    REDMarker,
+    SingleThresholdMarker,
+)
+from repro.sim.packet import MSS_BYTES
+from repro.sim.tcp.sender import DctcpSender, EcnRenoSender, TcpSender
+
+__all__ = [
+    "ProtocolConfig",
+    "dctcp_sim",
+    "dt_dctcp_sim",
+    "dctcp_testbed",
+    "dt_dctcp_testbed",
+    "ecn_red_baseline",
+]
+
+KB = 1024
+
+from repro.core.marking import DEFAULT_DIRECTION_DEADBAND
+
+#: Direction deadband for DT-DCTCP's packet-level hysteresis: wide-gap
+#: simulation thresholds tolerate a couple packets of jitter rejection.
+SIM_DEADBAND = DEFAULT_DIRECTION_DEADBAND
+#: The testbed thresholds are only ~4 packets apart, so the deadband
+#: must stay well below the gap or the hysteresis degenerates into a
+#: single effective threshold.
+TESTBED_DEADBAND = 0.5
+
+
+@dataclasses.dataclass(frozen=True)
+class ProtocolConfig:
+    """One (marking mechanism, sender) pair under test."""
+
+    name: str
+    marker_factory: Callable[[], Marker]
+    sender_cls: Type[TcpSender]
+
+    def __repr__(self) -> str:
+        return f"ProtocolConfig({self.name})"
+
+
+def dctcp_sim(k: float = 40.0) -> ProtocolConfig:
+    """DCTCP with the simulation-section threshold (packets)."""
+    return ProtocolConfig(
+        name="DCTCP",
+        marker_factory=lambda: SingleThresholdMarker.from_threshold(k),
+        sender_cls=DctcpSender,
+    )
+
+
+def dt_dctcp_sim(k1: float = 30.0, k2: float = 50.0) -> ProtocolConfig:
+    """DT-DCTCP with the simulation-section thresholds (packets)."""
+    return ProtocolConfig(
+        name="DT-DCTCP",
+        marker_factory=lambda: DoubleThresholdMarker.from_thresholds(
+            k1, k2, deadband=SIM_DEADBAND
+        ),
+        sender_cls=DctcpSender,
+    )
+
+
+def dctcp_testbed(k_bytes: float = 32 * KB) -> ProtocolConfig:
+    """DCTCP with the testbed threshold (K = 32 KB -> packets)."""
+    return ProtocolConfig(
+        name="DCTCP",
+        marker_factory=lambda: SingleThresholdMarker.from_threshold(
+            k_bytes / MSS_BYTES
+        ),
+        sender_cls=DctcpSender,
+    )
+
+
+def dt_dctcp_testbed(
+    k1_bytes: float = 28 * KB, k2_bytes: float = 34 * KB
+) -> ProtocolConfig:
+    """DT-DCTCP with the testbed thresholds (28/34 KB -> packets)."""
+    return ProtocolConfig(
+        name="DT-DCTCP",
+        marker_factory=lambda: DoubleThresholdMarker.from_thresholds(
+            k1_bytes / MSS_BYTES, k2_bytes / MSS_BYTES, deadband=TESTBED_DEADBAND
+        ),
+        sender_cls=DctcpSender,
+    )
+
+
+def ecn_red_baseline(
+    min_th: float = 20.0, max_th: float = 60.0, max_p: float = 0.1
+) -> ProtocolConfig:
+    """RED + ECN-Reno: the classic AQM baseline for the ablation benches."""
+    return ProtocolConfig(
+        name="RED-ECN",
+        marker_factory=lambda: REDMarker(min_th=min_th, max_th=max_th, max_p=max_p),
+        sender_cls=EcnRenoSender,
+    )

@@ -1,0 +1,99 @@
+"""Shared N-sweep runner behind Figures 10, 11 and 12.
+
+One steady-state dumbbell run per (protocol, N) yields the bottleneck
+queue's mean and standard deviation and the senders' mean ``alpha``;
+Figures 10-12 are three views of the same sweep, so the sweep runs once
+and each figure module formats its column.
+
+The paper's exact configuration (10 Gbps, RTT 100 us) drives most of the
+N = 10..100 sweep into the minimum-window regime — the pipe holds only
+``R0*C ~ 83`` packets, so for ``N > ~41`` each flow cannot go below its
+1-packet floor without inflating the queue (see EXPERIMENTS.md).  The
+runner therefore also supports a "deep pipe" variant (longer RTT) in
+which the whole sweep stays ECN-controlled; the benches report both.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Sequence
+
+from repro.experiments.config import Scale
+from repro.experiments.protocols import ProtocolConfig
+from repro.sim.apps.bulk import launch_bulk_flows
+from repro.sim.topology import dumbbell
+from repro.sim.trace import AlphaMonitor, QueueMonitor
+
+__all__ = ["SweepPoint", "run_point", "run_sweep"]
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepPoint:
+    """Steady-state measurements for one (protocol, N) configuration."""
+
+    protocol: str
+    n_flows: int
+    mean_queue: float
+    std_queue: float
+    mean_alpha: float
+    goodput_bps: float
+    timeouts: int
+    marks: int
+    drops: int
+
+
+def run_point(
+    protocol: ProtocolConfig,
+    n_flows: int,
+    scale: Scale,
+    bandwidth_bps: float = 10e9,
+    rtt: float = 100e-6,
+) -> SweepPoint:
+    """One steady-state dumbbell measurement."""
+    network = dumbbell(
+        n_flows, protocol.marker_factory, bandwidth_bps=bandwidth_bps, rtt=rtt
+    )
+    flows = launch_bulk_flows(network, sender_cls=protocol.sender_cls)
+    queue_monitor = QueueMonitor(
+        network.sim, network.bottleneck_queue, interval=scale.sample_interval
+    )
+    queue_monitor.start()
+    alpha_monitor = AlphaMonitor(
+        network.sim,
+        [f.sender for f in flows],
+        interval=scale.sample_interval * 10,
+    )
+    alpha_monitor.start()
+    network.sim.run(until=scale.sim_duration)
+
+    queue = queue_monitor.series(after=scale.warmup)
+    alphas = alpha_monitor.series(after=scale.warmup)
+    delivered_packets = sum(f.receiver.packets_received for f in flows)
+    return SweepPoint(
+        protocol=protocol.name,
+        n_flows=n_flows,
+        mean_queue=float(queue.mean()),
+        std_queue=float(queue.std()),
+        mean_alpha=float(alphas.mean()) if len(alphas) else 0.0,
+        goodput_bps=delivered_packets * 1500 * 8.0 / scale.sim_duration,
+        timeouts=sum(f.sender.timeouts for f in flows),
+        marks=network.bottleneck_queue.stats.marked,
+        drops=network.bottleneck_queue.stats.dropped,
+    )
+
+
+def run_sweep(
+    protocols: Sequence[ProtocolConfig],
+    scale: Scale,
+    bandwidth_bps: float = 10e9,
+    rtt: float = 100e-6,
+) -> Dict[str, List[SweepPoint]]:
+    """The Figures 10-12 sweep: every protocol at every flow count."""
+    results: Dict[str, List[SweepPoint]] = {}
+    for protocol in protocols:
+        points = [
+            run_point(protocol, n, scale, bandwidth_bps=bandwidth_bps, rtt=rtt)
+            for n in scale.flow_counts
+        ]
+        results[protocol.name] = points
+    return results

@@ -1,0 +1,81 @@
+"""Run every experiment in sequence: ``python -m repro.experiments.runner``.
+
+Accepts ``--quick`` for the benchmark-scale sweeps.  Each experiment
+prints the table matching its paper figure; this module adds nothing but
+ordering and timing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.experiments import (
+    buffer_pressure,
+    convergence,
+    deadlines,
+    df_bias,
+    fig01_oscillation,
+    fig02_marking,
+    fig04_criterion,
+    fig06_08_df,
+    fig07_nyquist_loci,
+    fig09_critical_n,
+    fig10_avg_queue,
+    fig11_std_dev,
+    fig12_alpha,
+    fig13_topology,
+    fig14_incast,
+    fig15_completion_time,
+    fluid_validation,
+    queue_buildup,
+    sensitivity,
+)
+from repro.experiments.config import full_scale, quick_scale
+
+__all__ = ["run_all", "main"]
+
+
+def run_all(quick: bool = False) -> None:
+    scale = quick_scale() if quick else full_scale()
+    stages = [
+        ("Figure 1", lambda: fig01_oscillation.main(scale)),
+        ("Figure 2", fig02_marking.main),
+        ("Figure 4", fig04_criterion.main),
+        ("Figures 6/8", fig06_08_df.main),
+        ("Figure 7", fig07_nyquist_loci.main),
+        ("Figure 9", fig09_critical_n.main),
+        ("Figure 10", lambda: fig10_avg_queue.main(scale)),
+        ("Figure 11", lambda: fig11_std_dev.main(scale)),
+        ("Figure 12", lambda: fig12_alpha.main(scale)),
+        ("Figure 13", fig13_topology.main),
+        ("Figure 14", lambda: fig14_incast.main(scale)),
+        ("Figure 15", lambda: fig15_completion_time.main(scale)),
+        ("Fluid validation", lambda: fluid_validation.main(scale)),
+        ("Convergence & fairness", convergence.main),
+        ("Queue buildup", queue_buildup.main),
+        ("Buffer pressure", buffer_pressure.main),
+        ("Design sensitivity", sensitivity.main),
+        ("Deadline awareness (D2TCP)", deadlines.main),
+        ("Bias-corrected DF", lambda: df_bias.main(scale)),
+    ]
+    for name, stage in stages:
+        start = time.time()
+        print(f"===== {name} " + "=" * max(0, 60 - len(name)))
+        stage()
+        print(f"[{name} finished in {time.time() - start:.1f}s]\n")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="benchmark-scale sweeps (seconds instead of minutes)",
+    )
+    args = parser.parse_args()
+    run_all(quick=args.quick)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+"""History buffer for delay-differential integration.
+
+The DCTCP fluid model (Eq. 1-3) feeds back the marking signal one RTT
+late: the right-hand side at time ``t`` needs ``p(t - R0)``.  A
+:class:`DelayBuffer` records ``(t, value)`` samples as integration
+proceeds and answers interpolated lookups at earlier times.
+
+Samples are appended in nondecreasing time order (the integrator's
+natural behaviour), so lookups are a binary search.  Two interpolation
+modes are supported: ``"linear"`` for smooth states such as the queue,
+and ``"previous"`` (zero-order hold) for the relay output ``p``, which
+is piecewise constant by construction.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import List
+
+__all__ = ["DelayBuffer"]
+
+
+class DelayBuffer:
+    """Append-only time series with interpolated historical lookup."""
+
+    def __init__(self, initial_time: float, initial_value: float,
+                 interpolation: str = "linear"):
+        if interpolation not in ("linear", "previous"):
+            raise ValueError(
+                f"interpolation must be 'linear' or 'previous', got {interpolation!r}"
+            )
+        self._times: List[float] = [initial_time]
+        self._values: List[float] = [initial_value]
+        self._interpolation = interpolation
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    @property
+    def latest_time(self) -> float:
+        return self._times[-1]
+
+    @property
+    def latest_value(self) -> float:
+        return self._values[-1]
+
+    def append(self, time: float, value: float) -> None:
+        """Record ``value`` at ``time``; time must not move backwards."""
+        if time < self._times[-1]:
+            raise ValueError(
+                f"history must be appended in time order: {time} < {self._times[-1]}"
+            )
+        self._times.append(time)
+        self._values.append(value)
+
+    def value_at(self, time: float) -> float:
+        """Interpolated value at ``time``.
+
+        Times before the first sample return the first value (constant
+        pre-history, the standard DDE initial condition); times beyond
+        the last sample return the last value (needed by Runge-Kutta
+        substages that peek marginally past the stored history).
+        """
+        times = self._times
+        if time <= times[0]:
+            return self._values[0]
+        if time >= times[-1]:
+            return self._values[-1]
+        hi = bisect.bisect_right(times, time)
+        lo = hi - 1
+        if self._interpolation == "previous":
+            return self._values[lo]
+        t0, t1 = times[lo], times[hi]
+        v0, v1 = self._values[lo], self._values[hi]
+        if t1 == t0:
+            return v1
+        frac = (time - t0) / (t1 - t0)
+        return v0 + frac * (v1 - v0)
+
+    def trim_before(self, time: float) -> None:
+        """Drop samples strictly older than ``time`` (memory bound).
+
+        One sample at-or-before ``time`` is always retained so lookups at
+        exactly ``time`` still interpolate correctly.
+        """
+        hi = bisect.bisect_left(self._times, time)
+        if hi > 1:
+            keep_from = hi - 1
+            del self._times[:keep_from]
+            del self._values[:keep_from]

@@ -1,0 +1,112 @@
+"""Small-signal linearisation of the fluid model (paper Section V-A).
+
+About the operating point ``W0 = R0 C/N``, ``alpha0 = p0 = sqrt(2/W0)``,
+``q0`` (the marking setpoint), the paper linearises Eq. (1)-(3) into
+Eq. (10)-(12).  In state-space form with state ``x = (dW, dalpha, dq)``
+and delayed input ``u = dp(t - R0)``:
+
+    dx/dt = A x + B u
+
+    A = [[-N/(R0^2 C), -sqrt(C/(2 N R0)),    0    ],
+         [     0,          -g/R0,            0    ],
+         [   N/R0,            0,          -1/R0  ]]
+
+    B = [ -sqrt(C/(2 N R0)),  g/R0,  0 ]^T
+
+Two conventions coexist in the paper and are mirrored here exactly:
+the window and alpha equations approximate the RTT as the constant
+``R0``, while the queue equation keeps the RTT's queue dependence
+``R(q) = d + q/C`` — that is where Eq. (12)'s ``-dq/R0`` term comes
+from.  :func:`paper_rhs` evaluates the *nonlinear* RHS under this mixed
+convention so that a numeric Jacobian reproduces ``A`` and ``B`` to
+machine precision (tested in ``tests/fluid/test_linearization.py``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Tuple
+
+import numpy as np
+
+from repro.core.parameters import NetworkParams, OperatingPoint
+
+__all__ = [
+    "LinearizedModel",
+    "linearize",
+    "paper_rhs",
+    "queue_response",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class LinearizedModel:
+    """State-space matrices of the linearised fluid model."""
+
+    net: NetworkParams
+    operating_point: OperatingPoint
+    a: np.ndarray  #: 3x3 state matrix (state order: dW, dalpha, dq)
+    b: np.ndarray  #: 3-vector input matrix for the delayed marking dp(t-R0)
+
+    @property
+    def eigenvalues(self) -> np.ndarray:
+        """Plant poles; all strictly negative real for valid parameters."""
+        return np.linalg.eigvals(self.a)
+
+
+def linearize(net: NetworkParams, queue_setpoint: float) -> LinearizedModel:
+    """Build Eq. (10)-(12)'s state-space matrices for this network."""
+    op = net.operating_point(queue_setpoint)
+    r0 = net.rtt
+    coupling = np.sqrt(net.capacity / (2.0 * net.n_flows * r0))
+    a = np.array(
+        [
+            [-net.n_flows / (r0**2 * net.capacity), -coupling, 0.0],
+            [0.0, -net.g / r0, 0.0],
+            [net.n_flows / r0, 0.0, -1.0 / r0],
+        ]
+    )
+    b = np.array([-coupling, net.g / r0, 0.0])
+    return LinearizedModel(net=net, operating_point=op, a=a, b=b)
+
+
+def paper_rhs(
+    state: Tuple[float, float, float],
+    delayed_marking: float,
+    net: NetworkParams,
+    queue_setpoint: float,
+) -> Tuple[float, float, float]:
+    """Nonlinear fluid RHS under the paper's mixed RTT convention.
+
+    Window and alpha dynamics use the fixed ``R0``; the queue dynamics
+    use ``R(q) = d + q/C`` with ``d`` chosen so ``R(q0) = R0``.  The
+    Jacobian of this function at the operating point equals
+    :func:`linearize`'s ``(A, B)`` exactly.
+    """
+    w, alpha, q = state
+    r0 = net.rtt
+    d = r0 - queue_setpoint / net.capacity
+    if d <= 0:
+        raise ValueError(
+            f"queue setpoint {queue_setpoint} exceeds the bandwidth-delay "
+            f"product {net.bandwidth_delay_product}; R(q0) = R0 impossible"
+        )
+    r_q = d + q / net.capacity
+    d_window = 1.0 / r0 - (w * alpha / (2.0 * r0)) * delayed_marking
+    d_alpha = (net.g / r0) * (delayed_marking - alpha)
+    d_queue = net.n_flows * w / r_q - net.capacity
+    return d_window, d_alpha, d_queue
+
+
+def queue_response(s: complex, model: LinearizedModel) -> complex:
+    """Transfer function ``dq(s)/dp(s)`` without the feedback delay.
+
+    Equals ``-P(s)`` from :func:`repro.core.transfer_function.plant`:
+    the minus sign is Eq. (16)'s negative feedback — more marking
+    drains the queue.
+    """
+    c_row = np.array([0.0, 0.0, 1.0])
+    resolvent = np.linalg.solve(
+        s * np.eye(3) - model.a.astype(complex), model.b.astype(complex)
+    )
+    return complex(c_row @ resolvent)

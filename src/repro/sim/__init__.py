@@ -1,0 +1,43 @@
+"""Packet-level discrete-event network simulator (the ns-2 substitute)."""
+
+from repro.sim.buffer_pool import SharedBufferPool
+from repro.sim.engine import EventHandle, Simulator
+from repro.sim.link import Interface
+from repro.sim.node import Host, Node, Switch
+from repro.sim.packet import ACK_BYTES, MSS_BYTES, Packet
+from repro.sim.queues import FifoQueue, QueueStats
+from repro.sim.scenario import Scenario, ScenarioResult, run_scenario
+from repro.sim.topology import (
+    DumbbellNetwork,
+    Network,
+    TestbedNetwork,
+    dumbbell,
+    paper_testbed,
+)
+from repro.sim.trace import AlphaMonitor, QueueMonitor, ThroughputMeter
+
+__all__ = [
+    "ACK_BYTES",
+    "AlphaMonitor",
+    "DumbbellNetwork",
+    "EventHandle",
+    "FifoQueue",
+    "Host",
+    "Interface",
+    "MSS_BYTES",
+    "Network",
+    "Node",
+    "Packet",
+    "QueueMonitor",
+    "QueueStats",
+    "Scenario",
+    "ScenarioResult",
+    "SharedBufferPool",
+    "Simulator",
+    "Switch",
+    "run_scenario",
+    "TestbedNetwork",
+    "ThroughputMeter",
+    "dumbbell",
+    "paper_testbed",
+]

@@ -1,0 +1,184 @@
+"""Synchronized fan-in (incast) workload: Figures 14 and 15.
+
+One aggregator repeatedly queries ``n_flows`` workers; every worker
+responds with a fixed-size transfer, all responses start simultaneously,
+and the query completes when the *last* byte of the *last* response
+arrives (a barrier — exactly the partition/aggregate semantics that make
+incast painful).  Per-query completion times and goodput are recorded.
+
+The paper's Figure 14 uses 64 KB per worker; Figure 15 uses 1 MB split
+evenly over the workers (see
+:mod:`repro.sim.apps.partition_aggregate`).  The testbed has nine
+physical workers, so flow counts beyond nine assign multiple flows per
+worker host round-robin, as the paper's experiments must have done.
+
+The request fan-out is modelled as a scheduling barrier rather than
+request packets on the wire: requests are one small packet each on
+otherwise idle uplinks, adding an identical constant to every query,
+while the congestion this paper studies is entirely on the shared
+downlink.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Callable, List, Optional, Sequence, Type
+
+from repro.sim.node import Host
+from repro.sim.packet import MSS_BYTES
+from repro.sim.tcp.flow import Flow, open_flow
+from repro.sim.tcp.sender import DctcpSender, TcpSender
+
+__all__ = ["FanInResult", "FanInApp"]
+
+
+class FanInResult:
+    """Outcome of one synchronized fan-in query."""
+
+    __slots__ = ("start_time", "finish_time", "bytes_transferred", "timeouts",
+                 "retransmits")
+
+    def __init__(self, start_time: float, finish_time: float,
+                 bytes_transferred: int, timeouts: int, retransmits: int):
+        self.start_time = start_time
+        self.finish_time = finish_time
+        self.bytes_transferred = bytes_transferred
+        self.timeouts = timeouts
+        self.retransmits = retransmits
+
+    @property
+    def completion_time(self) -> float:
+        """Barrier completion time of the query (seconds)."""
+        return self.finish_time - self.start_time
+
+    @property
+    def goodput_bps(self) -> float:
+        """Application goodput of the query (bits per second)."""
+        if self.completion_time <= 0:
+            return 0.0
+        return self.bytes_transferred * 8.0 / self.completion_time
+
+    def __repr__(self) -> str:
+        return (
+            f"FanInResult(t={self.completion_time*1e3:.2f} ms, "
+            f"{self.goodput_bps/1e6:.1f} Mbps, timeouts={self.timeouts})"
+        )
+
+
+class FanInApp:
+    """Runs repeated synchronized fan-in queries and collects results."""
+
+    def __init__(
+        self,
+        aggregator: Host,
+        workers: Sequence[Host],
+        n_flows: int,
+        bytes_per_flow: int,
+        n_queries: int = 10,
+        sender_cls: Type[TcpSender] = DctcpSender,
+        initial_cwnd: float = 3.0,
+        min_rto: float = 0.2,
+        start_jitter: float = 10e-6,
+        jitter_seed: int = 1,
+        think_time: float = 100e-6,
+        on_done: Optional[Callable[[], None]] = None,
+        **sender_kwargs,
+    ):
+        if n_flows <= 0:
+            raise ValueError(f"n_flows must be positive, got {n_flows}")
+        if bytes_per_flow <= 0:
+            raise ValueError(f"bytes_per_flow must be positive, got {bytes_per_flow}")
+        if n_queries <= 0:
+            raise ValueError(f"n_queries must be positive, got {n_queries}")
+        if not workers:
+            raise ValueError("need at least one worker host")
+        self.aggregator = aggregator
+        self.workers = list(workers)
+        self.n_flows = n_flows
+        self.bytes_per_flow = bytes_per_flow
+        self.packets_per_flow = max(1, math.ceil(bytes_per_flow / MSS_BYTES))
+        self.n_queries = n_queries
+        self.sender_cls = sender_cls
+        self.initial_cwnd = initial_cwnd
+        self.min_rto = min_rto
+        self.start_jitter = start_jitter
+        self.think_time = think_time
+        self.on_done = on_done
+        self.sender_kwargs = sender_kwargs
+
+        self.sim = aggregator.sim
+        self.results: List[FanInResult] = []
+        self._rng = random.Random(jitter_seed)
+        self._active_flows: List[Flow] = []
+        self._outstanding = 0
+        self._query_start = 0.0
+        self._started = False
+
+    @property
+    def done(self) -> bool:
+        return len(self.results) >= self.n_queries
+
+    def start(self, delay: float = 0.0) -> None:
+        if self._started:
+            raise RuntimeError("fan-in app already started")
+        self._started = True
+        self.sim.schedule(delay, self._launch_query)
+
+    def overall_goodput_bps(self) -> float:
+        """Aggregate goodput over all completed queries (Figure 14's metric)."""
+        total_time = sum(r.completion_time for r in self.results)
+        total_bytes = sum(r.bytes_transferred for r in self.results)
+        if total_time <= 0:
+            return 0.0
+        return total_bytes * 8.0 / total_time
+
+    def completion_times(self) -> List[float]:
+        """Per-query barrier completion times (Figure 15's metric)."""
+        return [r.completion_time for r in self.results]
+
+    # ------------------------------------------------------------------
+
+    def _launch_query(self) -> None:
+        self._query_start = self.sim.now
+        self._outstanding = self.n_flows
+        self._active_flows = []
+        for i in range(self.n_flows):
+            worker = self.workers[i % len(self.workers)]
+            flow = open_flow(
+                worker,
+                self.aggregator,
+                sender_cls=self.sender_cls,
+                total_packets=self.packets_per_flow,
+                on_complete=self._on_flow_complete,
+                initial_cwnd=self.initial_cwnd,
+                min_rto=self.min_rto,
+                **self.sender_kwargs,
+            )
+            jitter = (
+                self._rng.uniform(0.0, self.start_jitter)
+                if self.start_jitter > 0
+                else 0.0
+            )
+            flow.start(jitter)
+            self._active_flows.append(flow)
+
+    def _on_flow_complete(self, _finish_time: float) -> None:
+        self._outstanding -= 1
+        if self._outstanding > 0:
+            return
+        result = FanInResult(
+            start_time=self._query_start,
+            finish_time=self.sim.now,
+            bytes_transferred=self.packets_per_flow * MSS_BYTES * self.n_flows,
+            timeouts=sum(f.sender.timeouts for f in self._active_flows),
+            retransmits=sum(f.sender.retransmits for f in self._active_flows),
+        )
+        self.results.append(result)
+        for flow in self._active_flows:
+            flow.close()
+        self._active_flows = []
+        if not self.done:
+            self.sim.schedule(self.think_time, self._launch_query)
+        elif self.on_done is not None:
+            self.on_done()

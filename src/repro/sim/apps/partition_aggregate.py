@@ -1,0 +1,45 @@
+"""Partition-aggregate queries: Figure 15's workload.
+
+"The aggregator requests 1 MB from n different workers, and each worker
+responds with the requested 1MB/n data" — a :class:`FanInApp` whose
+per-flow size shrinks as the fan-out grows, so the ideal completion time
+stays constant (~10 ms on a 1 Gbps downlink) until incast timeouts blow
+it up by ~20x (one minimum RTO).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Type
+
+from repro.sim.apps.incast import FanInApp
+from repro.sim.node import Host
+from repro.sim.tcp.sender import DctcpSender, TcpSender
+
+__all__ = ["partition_aggregate_app", "TOTAL_RESPONSE_BYTES"]
+
+#: The paper's total response size: 1 MB per query.
+TOTAL_RESPONSE_BYTES = 1024 * 1024
+
+
+def partition_aggregate_app(
+    aggregator: Host,
+    workers: Sequence[Host],
+    n_flows: int,
+    n_queries: int = 10,
+    sender_cls: Type[TcpSender] = DctcpSender,
+    total_bytes: int = TOTAL_RESPONSE_BYTES,
+    **kwargs,
+) -> FanInApp:
+    """Fan-in app configured with ``total_bytes / n_flows`` per worker."""
+    if n_flows <= 0:
+        raise ValueError(f"n_flows must be positive, got {n_flows}")
+    per_flow = max(1, total_bytes // n_flows)
+    return FanInApp(
+        aggregator=aggregator,
+        workers=workers,
+        n_flows=n_flows,
+        bytes_per_flow=per_flow,
+        n_queries=n_queries,
+        sender_cls=sender_cls,
+        **kwargs,
+    )

@@ -1,0 +1,108 @@
+"""Short-flow generator: the "queue buildup" microbenchmark workload.
+
+Section II-A recalls that DCTCP "performs well in a series of
+micro-benchmarks like Incast, queue buildup and buffer pressure".  The
+queue-buildup scenario mixes latency-sensitive short transfers with
+long-lived background flows on one bottleneck: every packet of a short
+flow waits behind the standing queue the long flows maintain, so the
+short flows' completion times measure the queue the marking mechanism
+sustains.
+
+:class:`ShortFlowGenerator` launches fixed-size transfers from a
+dedicated sender with exponential (Poisson) inter-arrival times and
+records each flow's completion time.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Callable, List, Optional, Type
+
+from repro.sim.node import Host
+from repro.sim.packet import MSS_BYTES
+from repro.sim.tcp.flow import Flow, open_flow
+from repro.sim.tcp.sender import DctcpSender, TcpSender
+
+__all__ = ["ShortFlowGenerator"]
+
+
+class ShortFlowGenerator:
+    """Poisson arrivals of fixed-size transfers, FCTs recorded."""
+
+    def __init__(
+        self,
+        src: Host,
+        dst: Host,
+        flow_bytes: int = 20 * 1024,
+        arrival_rate: float = 1000.0,
+        sender_cls: Type[TcpSender] = DctcpSender,
+        initial_cwnd: float = 10.0,
+        seed: int = 7,
+        on_flow_complete: Optional[Callable[[float], None]] = None,
+        **sender_kwargs,
+    ):
+        if flow_bytes <= 0:
+            raise ValueError(f"flow_bytes must be positive, got {flow_bytes}")
+        if arrival_rate <= 0:
+            raise ValueError(
+                f"arrival_rate must be positive, got {arrival_rate}"
+            )
+        self.src = src
+        self.dst = dst
+        self.flow_bytes = flow_bytes
+        self.packets_per_flow = max(1, math.ceil(flow_bytes / MSS_BYTES))
+        self.arrival_rate = arrival_rate
+        self.sender_cls = sender_cls
+        self.initial_cwnd = initial_cwnd
+        self.sender_kwargs = sender_kwargs
+        self.on_flow_complete = on_flow_complete
+        self.sim = src.sim
+        self._rng = random.Random(seed)
+        self._running = False
+        self._active: List[Flow] = []
+        #: Completion time of every finished short flow (seconds).
+        self.completion_times: List[float] = []
+        self.flows_started = 0
+
+    def start(self, delay: float = 0.0) -> None:
+        if self._running:
+            raise RuntimeError("generator already started")
+        self._running = True
+        self.sim.schedule(delay + self._next_gap(), self._launch)
+
+    def stop(self) -> None:
+        """Stop launching new flows (in-flight ones run to completion)."""
+        self._running = False
+
+    def _next_gap(self) -> float:
+        return self._rng.expovariate(self.arrival_rate)
+
+    def _launch(self) -> None:
+        if not self._running:
+            return
+        start_time = self.sim.now
+        flow_box: List[Flow] = []
+
+        def done(finish_time: float) -> None:
+            self.completion_times.append(finish_time - start_time)
+            flow = flow_box[0]
+            self._active.remove(flow)
+            flow.close()
+            if self.on_flow_complete is not None:
+                self.on_flow_complete(finish_time - start_time)
+
+        flow = open_flow(
+            self.src,
+            self.dst,
+            sender_cls=self.sender_cls,
+            total_packets=self.packets_per_flow,
+            on_complete=done,
+            initial_cwnd=self.initial_cwnd,
+            **self.sender_kwargs,
+        )
+        flow_box.append(flow)
+        self._active.append(flow)
+        self.flows_started += 1
+        flow.start()
+        self.sim.schedule(self._next_gap(), self._launch)

@@ -1,0 +1,91 @@
+"""Shared-memory buffer pool with dynamic per-port thresholds.
+
+Commodity data-center switches do not give every port a private buffer:
+ports draw from one shared memory pool, usually policed by the
+Choudhury-Hahne *dynamic threshold* algorithm — a port may queue at
+most ``alpha * (free pool bytes)``, so hot ports can borrow headroom
+but one congested port cannot starve the rest.
+
+This matters for the "buffer pressure" microbenchmark (DCTCP's
+SIGCOMM'10 Section 4, recalled in this paper's Section II-A): long
+flows congesting *other* ports eat the shared pool and shrink the
+buffer available to an incast port.  Marking mechanisms that keep
+queues short (DCTCP, DT-DCTCP) leave the pool free; DropTail senders
+fill it and make every port's incast worse.
+
+A :class:`SharedBufferPool` is handed to several
+:class:`~repro.sim.queues.FifoQueue` instances; each enqueue must pass
+both the port's own capacity check and the pool's admission test.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["SharedBufferPool"]
+
+
+class SharedBufferPool:
+    """Byte-accounted shared memory with optional dynamic thresholding."""
+
+    def __init__(self, total_bytes: float, dynamic_alpha: Optional[float] = None):
+        if total_bytes <= 0:
+            raise ValueError(f"total_bytes must be positive, got {total_bytes}")
+        if dynamic_alpha is not None and dynamic_alpha <= 0:
+            raise ValueError(
+                f"dynamic_alpha must be positive, got {dynamic_alpha}"
+            )
+        self.total_bytes = total_bytes
+        #: Choudhury-Hahne control gain; None disables the per-port
+        #: dynamic threshold (pure first-come-first-served sharing).
+        self.dynamic_alpha = dynamic_alpha
+        self._used = 0.0
+        self.rejections = 0
+
+    @property
+    def used_bytes(self) -> float:
+        return self._used
+
+    @property
+    def free_bytes(self) -> float:
+        return self.total_bytes - self._used
+
+    def port_limit(self) -> float:
+        """Current dynamic cap on any single port's occupancy (bytes)."""
+        if self.dynamic_alpha is None:
+            return self.total_bytes
+        return self.dynamic_alpha * self.free_bytes
+
+    def admit(self, port_occupancy_bytes: float, packet_bytes: int) -> bool:
+        """Try to reserve ``packet_bytes`` for a port currently holding
+        ``port_occupancy_bytes``; False (and a rejection count) if either
+        the pool is out of memory or the port exceeds its dynamic cap.
+        """
+        if packet_bytes <= 0:
+            raise ValueError(f"packet_bytes must be positive, got {packet_bytes}")
+        if self._used + packet_bytes > self.total_bytes:
+            self.rejections += 1
+            return False
+        if (
+            self.dynamic_alpha is not None
+            and port_occupancy_bytes + packet_bytes > self.port_limit()
+        ):
+            self.rejections += 1
+            return False
+        self._used += packet_bytes
+        return True
+
+    def release(self, packet_bytes: int) -> None:
+        """Return ``packet_bytes`` to the pool (on dequeue)."""
+        if packet_bytes <= 0:
+            raise ValueError(f"packet_bytes must be positive, got {packet_bytes}")
+        self._used -= packet_bytes
+        if self._used < -1e-9:
+            raise RuntimeError("buffer pool released more than it reserved")
+        self._used = max(self._used, 0.0)
+
+    def __repr__(self) -> str:
+        return (
+            f"SharedBufferPool({self._used:.0f}/{self.total_bytes:.0f} B, "
+            f"alpha={self.dynamic_alpha}, rejected={self.rejections})"
+        )

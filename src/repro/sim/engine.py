@@ -1,0 +1,138 @@
+"""Discrete-event simulation kernel.
+
+A minimal, fast event loop in the style of ns-2's scheduler: a binary
+heap of ``(time, sequence, callback)`` entries.  The monotonically
+increasing sequence number makes event ordering deterministic — two
+events scheduled for the same instant fire in scheduling order — which
+keeps every experiment in this repository exactly reproducible.
+
+Cancellation is O(1) lazy deletion: :meth:`EventHandle.cancel` flags the
+entry and the loop skips it when popped (the standard heapq idiom).
+Retransmission timers cancel and re-arm constantly, so this matters.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional, Tuple
+
+__all__ = ["EventHandle", "Simulator"]
+
+
+class EventHandle:
+    """Ticket for a scheduled event; lets the owner cancel it."""
+
+    __slots__ = ("time", "callback", "args", "cancelled")
+
+    def __init__(self, time: float, callback: Callable[..., None], args: Tuple):
+        self.time = time
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (no-op if it already fired)."""
+        self.cancelled = True
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self.cancelled else "pending"
+        return f"EventHandle(t={self.time:.9f}, {state})"
+
+
+class Simulator:
+    """Deterministic discrete-event scheduler with a simulated clock."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: List[Tuple[float, int, EventHandle]] = []
+        self._sequence = itertools.count()
+        self._events_processed = 0
+        self._running = False
+        self._stop_requested = False
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Total events executed so far (skipped cancellations excluded)."""
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        """Heap entries outstanding, including cancelled ones."""
+        return len(self._heap)
+
+    def schedule(
+        self, delay: float, callback: Callable[..., None], *args: Any
+    ) -> EventHandle:
+        """Run ``callback(*args)`` after ``delay`` seconds of simulated time."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past: delay={delay}")
+        return self.schedule_at(self._now + delay, callback, *args)
+
+    def schedule_at(
+        self, time: float, callback: Callable[..., None], *args: Any
+    ) -> EventHandle:
+        """Run ``callback(*args)`` at absolute simulated ``time``."""
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule into the past: t={time} < now={self._now}"
+            )
+        handle = EventHandle(time, callback, args)
+        heapq.heappush(self._heap, (time, next(self._sequence), handle))
+        return handle
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Process events in time order.
+
+        Stops when the heap is empty, when the next event lies beyond
+        ``until`` (the clock then advances to ``until`` exactly), when a
+        callback calls :meth:`stop`, or after ``max_events`` callbacks
+        (a runaway guard for tests).  Re-entrant calls are rejected —
+        callbacks must schedule, not run.
+        """
+        if self._running:
+            raise RuntimeError("Simulator.run() is not re-entrant")
+        self._running = True
+        self._stop_requested = False
+        try:
+            budget = max_events if max_events is not None else float("inf")
+            heap = self._heap
+            while heap and budget > 0 and not self._stop_requested:
+                time, _, handle = heap[0]
+                if until is not None and time > until:
+                    break
+                heapq.heappop(heap)
+                if handle.cancelled:
+                    continue
+                self._now = time
+                self._events_processed += 1
+                budget -= 1
+                handle.callback(*handle.args)
+            if (
+                until is not None
+                and self._now < until
+                and not self._stop_requested
+            ):
+                self._now = until
+        finally:
+            self._running = False
+
+    def stop(self) -> None:
+        """Request the current :meth:`run` to return after this event.
+
+        For workload callbacks that know the experiment is over (e.g. an
+        application's last query completed) while unrelated background
+        traffic would otherwise keep the event loop busy until ``until``.
+        """
+        self._stop_requested = True
+
+    def reset(self) -> None:
+        """Drop all pending events and rewind the clock to zero."""
+        self._heap.clear()
+        self._now = 0.0
+        self._events_processed = 0

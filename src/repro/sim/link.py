@@ -1,0 +1,114 @@
+"""Output interfaces: queue + transmitter + propagation channel.
+
+An :class:`Interface` is one direction of a link as seen from its
+sending node: packets handed to :meth:`Interface.send` pass through the
+interface's queue discipline, are serialised at the configured bandwidth
+(one packet at a time, store-and-forward), then propagate for the fixed
+delay and arrive at the peer node.
+
+The transmitter models the usual DES pattern: if idle, a dequeued packet
+occupies it for ``size * 8 / bandwidth`` seconds; on completion the next
+queued packet (if any) starts immediately.  Queue occupancy therefore
+counts *waiting* packets only, not the one on the wire — consistent with
+how ns-2's queue length (and hence DCTCP's ``K``) is measured.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING
+
+from repro.sim.packet import Packet
+from repro.sim.queues import FifoQueue
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.sim.engine import Simulator
+    from repro.sim.node import Node
+
+__all__ = ["Interface"]
+
+
+class Interface:
+    """One unidirectional sending interface of a node."""
+
+    __slots__ = (
+        "sim",
+        "bandwidth_bps",
+        "prop_delay",
+        "queue",
+        "name",
+        "peer",
+        "_transmitting",
+        "packets_delivered",
+        "tap",
+    )
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        bandwidth_bps: float,
+        prop_delay: float,
+        queue: FifoQueue,
+        name: str = "",
+    ):
+        if bandwidth_bps <= 0:
+            raise ValueError(f"bandwidth_bps must be positive, got {bandwidth_bps}")
+        if prop_delay < 0:
+            raise ValueError(f"prop_delay must be >= 0, got {prop_delay}")
+        self.sim = sim
+        self.bandwidth_bps = bandwidth_bps
+        self.prop_delay = prop_delay
+        self.queue = queue
+        self.name = name
+        self.peer: Optional["Node"] = None
+        self._transmitting = False
+        self.packets_delivered = 0
+        #: Optional observer called with (time, packet, interface) at the
+        #: instant of delivery; see :class:`repro.sim.packet_log.PacketLogger`.
+        self.tap = None
+
+    def connect(self, peer: "Node") -> None:
+        """Attach the receiving node at the far end of the channel."""
+        self.peer = peer
+
+    def transmission_time(self, packet: Packet) -> float:
+        """Serialisation delay of ``packet`` at this interface's rate."""
+        return packet.size_bytes * 8.0 / self.bandwidth_bps
+
+    @property
+    def busy(self) -> bool:
+        """True while a packet occupies the transmitter."""
+        return self._transmitting
+
+    def send(self, packet: Packet) -> bool:
+        """Queue ``packet`` for transmission; False if the queue dropped it."""
+        if self.peer is None:
+            raise RuntimeError(f"interface {self.name!r} is not connected")
+        admitted = self.queue.enqueue(packet)
+        if admitted and not self._transmitting:
+            self._start_next()
+        return admitted
+
+    def _start_next(self) -> None:
+        packet = self.queue.dequeue()
+        if packet is None:
+            self._transmitting = False
+            return
+        self._transmitting = True
+        self.sim.schedule(self.transmission_time(packet), self._on_tx_done, packet)
+
+    def _on_tx_done(self, packet: Packet) -> None:
+        self.sim.schedule(self.prop_delay, self._deliver, packet)
+        self._start_next()
+
+    def _deliver(self, packet: Packet) -> None:
+        self.packets_delivered += 1
+        if self.tap is not None:
+            self.tap(self.sim.now, packet, self)
+        assert self.peer is not None
+        self.peer.receive(packet)
+
+    def __repr__(self) -> str:
+        return (
+            f"Interface({self.name!r}, {self.bandwidth_bps/1e9:.3g} Gbps, "
+            f"{self.prop_delay*1e6:.1f} us, q={self.queue.len_packets})"
+        )

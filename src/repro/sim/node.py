@@ -1,0 +1,119 @@
+"""Network nodes: hosts (endpoints) and switches (forwarders).
+
+A :class:`Host` owns exactly one NIC interface and a demux table from
+flow id to transport endpoint; every packet it originates leaves through
+the NIC, every packet it receives is handed to the matching endpoint.
+
+A :class:`Switch` owns one interface per attached link and a forwarding
+table from destination node id to the egress interface (filled by
+:mod:`repro.sim.routing`).  Forwarding is store-and-forward with the
+marking/dropping behaviour delegated to each egress interface's queue.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Protocol, TYPE_CHECKING
+
+from repro.sim.link import Interface
+from repro.sim.packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Simulator
+
+__all__ = ["Endpoint", "Node", "Host", "Switch"]
+
+_node_ids = itertools.count()
+
+
+class Endpoint(Protocol):
+    """Anything a host can demux packets to (TCP senders/receivers)."""
+
+    def on_packet(self, packet: Packet) -> None:
+        ...
+
+
+class Node:
+    """Common base: identity plus the receive hook."""
+
+    def __init__(self, sim: "Simulator", name: str = ""):
+        self.sim = sim
+        self.node_id: int = next(_node_ids)
+        self.name = name or f"node{self.node_id}"
+
+    def receive(self, packet: Packet) -> None:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r}, id={self.node_id})"
+
+
+class Host(Node):
+    """End host: one NIC, many transport endpoints."""
+
+    def __init__(self, sim: "Simulator", name: str = ""):
+        super().__init__(sim, name)
+        self.nic: Optional[Interface] = None
+        self._endpoints: Dict[int, Endpoint] = {}
+        self.packets_received = 0
+
+    def attach_nic(self, nic: Interface) -> None:
+        if self.nic is not None:
+            raise RuntimeError(f"host {self.name} already has a NIC")
+        self.nic = nic
+
+    def register_endpoint(self, flow_id: int, endpoint: Endpoint) -> None:
+        """Bind ``endpoint`` to ``flow_id``; one endpoint per flow per host."""
+        if flow_id in self._endpoints:
+            raise ValueError(
+                f"flow {flow_id} already registered on host {self.name}"
+            )
+        self._endpoints[flow_id] = endpoint
+
+    def unregister_endpoint(self, flow_id: int) -> None:
+        self._endpoints.pop(flow_id, None)
+
+    def send(self, packet: Packet) -> bool:
+        """Transmit a locally originated packet out of the NIC."""
+        if self.nic is None:
+            raise RuntimeError(f"host {self.name} has no NIC")
+        return self.nic.send(packet)
+
+    def receive(self, packet: Packet) -> None:
+        self.packets_received += 1
+        endpoint = self._endpoints.get(packet.flow_id)
+        if endpoint is not None:
+            endpoint.on_packet(packet)
+        # Unknown flows (late retransmits after teardown) are dropped
+        # silently, like segments to a closed port.
+
+
+class Switch(Node):
+    """Output-queued store-and-forward switch."""
+
+    def __init__(self, sim: "Simulator", name: str = ""):
+        super().__init__(sim, name)
+        self.interfaces: List[Interface] = []
+        #: destination node id -> egress interface
+        self.fib: Dict[int, Interface] = {}
+        self.packets_forwarded = 0
+        self.packets_unroutable = 0
+
+    def add_interface(self, interface: Interface) -> Interface:
+        self.interfaces.append(interface)
+        return interface
+
+    def set_route(self, dst_node_id: int, interface: Interface) -> None:
+        if interface not in self.interfaces:
+            raise ValueError(
+                f"interface {interface.name!r} does not belong to {self.name}"
+            )
+        self.fib[dst_node_id] = interface
+
+    def receive(self, packet: Packet) -> None:
+        egress = self.fib.get(packet.dst)
+        if egress is None:
+            self.packets_unroutable += 1
+            return
+        self.packets_forwarded += 1
+        egress.send(packet)

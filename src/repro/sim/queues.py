@@ -1,0 +1,166 @@
+"""Switch output-queue disciplines.
+
+A :class:`FifoQueue` couples a bounded FIFO with a pluggable
+:class:`~repro.core.marking.Marker`:
+
+* marker ``NullMarker``            -> plain DropTail (the paper's leaf
+  switches);
+* marker ``SingleThresholdMarker`` -> DCTCP's marking switch;
+* marker ``DoubleThresholdMarker`` -> DT-DCTCP's marking switch;
+* marker ``REDMarker``             -> RED baseline for ablations.
+
+Marking happens on arrival from the *instantaneous* queue occupancy in
+packets — exactly the rule of Figure 2 — before the arriving packet is
+appended.  Only ECN-capable packets are marked; a marker's verdict on a
+non-ECT packet is ignored (it is enqueued unmarked), matching how ECN
+switches treat non-ECT traffic short of overflow.
+
+Capacity is enforced in bytes (the paper's switches are sized in KB:
+128 KB marking ports, 512 KB DropTail ports); an arriving packet that
+does not fit is dropped and counted.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, TYPE_CHECKING
+
+from repro.core.marking import Marker, NullMarker
+from repro.sim.packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.buffer_pool import SharedBufferPool
+
+__all__ = ["FifoQueue", "QueueStats"]
+
+
+class QueueStats:
+    """Cumulative counters a queue maintains for the harness."""
+
+    __slots__ = ("enqueued", "dequeued", "dropped", "marked", "bytes_in", "bytes_out")
+
+    def __init__(self) -> None:
+        self.enqueued = 0
+        self.dequeued = 0
+        self.dropped = 0
+        self.marked = 0
+        self.bytes_in = 0
+        self.bytes_out = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"QueueStats(enq={self.enqueued}, deq={self.dequeued}, "
+            f"drop={self.dropped}, mark={self.marked})"
+        )
+
+
+class FifoQueue:
+    """Bounded FIFO with arrival-time ECN marking."""
+
+    def __init__(
+        self,
+        capacity_bytes: float,
+        marker: Optional[Marker] = None,
+        name: str = "",
+        pool: Optional["SharedBufferPool"] = None,
+        mark_on_dequeue: bool = False,
+    ):
+        if capacity_bytes <= 0:
+            raise ValueError(f"capacity_bytes must be positive, got {capacity_bytes}")
+        self.capacity_bytes = capacity_bytes
+        self.marker = marker if marker is not None else NullMarker()
+        self.name = name
+        #: Evaluate the marking decision when the packet *leaves* instead
+        #: of when it arrives.  Departure marking reflects the queue the
+        #: packet actually experienced and shaves up to one queueing
+        #: delay off the feedback loop (a known DCTCP deployment
+        #: variant); arrival marking is the paper's Figure 2 rule and
+        #: the default.
+        self.mark_on_dequeue = mark_on_dequeue
+        #: Optional shared-memory pool this port draws from; see
+        #: :mod:`repro.sim.buffer_pool`.
+        self.pool = pool
+        self._queue: Deque[Packet] = deque()
+        self._bytes = 0
+        self.stats = QueueStats()
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def len_packets(self) -> int:
+        """Instantaneous occupancy in packets (the marking variable)."""
+        return len(self._queue)
+
+    @property
+    def len_bytes(self) -> int:
+        """Instantaneous occupancy in bytes (the drop variable)."""
+        return self._bytes
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._queue
+
+    def enqueue(self, packet: Packet) -> bool:
+        """Admit ``packet``; returns False (and counts a drop) on overflow.
+
+        The marking decision is taken on every arrival — even one that is
+        subsequently dropped — because stateful markers (DT-DCTCP's
+        hysteresis) must observe the full arrival process to track the
+        queue's direction.
+        """
+        occupancy = len(self._queue)
+        wants_mark = (
+            False
+            if self.mark_on_dequeue
+            else self.marker.should_mark(occupancy)
+        )
+        if self._bytes + packet.size_bytes > self.capacity_bytes:
+            self.stats.dropped += 1
+            return False
+        if self.pool is not None and not self.pool.admit(
+            self._bytes, packet.size_bytes
+        ):
+            self.stats.dropped += 1
+            return False
+        if wants_mark and packet.ecn_capable:
+            packet.ce = True
+            self.stats.marked += 1
+        self._queue.append(packet)
+        self._bytes += packet.size_bytes
+        self.stats.enqueued += 1
+        self.stats.bytes_in += packet.size_bytes
+        return True
+
+    def dequeue(self) -> Optional[Packet]:
+        """Remove and return the head packet, or None when empty."""
+        if not self._queue:
+            return None
+        packet = self._queue.popleft()
+        self._bytes -= packet.size_bytes
+        if self.pool is not None:
+            self.pool.release(packet.size_bytes)
+        if self.mark_on_dequeue:
+            # Decision from the occupancy left behind - the queue this
+            # packet just waited through.
+            if self.marker.should_mark(len(self._queue)) and packet.ecn_capable:
+                packet.ce = True
+                self.stats.marked += 1
+        self.stats.dequeued += 1
+        self.stats.bytes_out += packet.size_bytes
+        return packet
+
+    def reset(self) -> None:
+        """Empty the queue and restart marker state and counters."""
+        if self.pool is not None and self._bytes:
+            self.pool.release(self._bytes)
+        self._queue.clear()
+        self._bytes = 0
+        self.marker.reset()
+        self.stats = QueueStats()
+
+    def __repr__(self) -> str:
+        return (
+            f"FifoQueue({self.name!r}, {self.len_packets} pkts / "
+            f"{self.len_bytes}B of {self.capacity_bytes}B, marker={self.marker!r})"
+        )

@@ -1,0 +1,53 @@
+"""Static shortest-path routing.
+
+Experiments build a :class:`~repro.sim.topology.Network`, then call
+:func:`populate_routes` once: it computes hop-count shortest paths over
+the connectivity graph (via networkx) and installs, on every switch, the
+egress interface toward every host.  Hosts need no table — they have a
+single NIC.
+
+Ties are broken deterministically by neighbour node id, so forwarding
+is reproducible run to run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, TYPE_CHECKING
+
+import networkx as nx
+
+from repro.sim.node import Host, Switch
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.topology import Network
+
+__all__ = ["populate_routes"]
+
+
+def populate_routes(network: "Network") -> None:
+    """Fill every switch's FIB with next hops toward every host."""
+    graph = nx.Graph()
+    for node in network.nodes:
+        graph.add_node(node.node_id)
+    for (a_id, b_id) in network.adjacency:
+        graph.add_edge(a_id, b_id)
+
+    hosts = [n for n in network.nodes if isinstance(n, Host)]
+    switches = [n for n in network.nodes if isinstance(n, Switch)]
+
+    for switch in switches:
+        # Deterministic Dijkstra tree rooted at the switch.
+        paths: Dict[int, list] = nx.single_source_shortest_path(
+            graph, switch.node_id
+        )
+        for host in hosts:
+            path = paths.get(host.node_id)
+            if path is None:
+                raise ValueError(
+                    f"host {host.name} unreachable from switch {switch.name}"
+                )
+            if len(path) < 2:
+                continue  # a switch is never a packet destination
+            next_hop_id = path[1]
+            interface = network.interface_between(switch.node_id, next_hop_id)
+            switch.set_route(host.node_id, interface)

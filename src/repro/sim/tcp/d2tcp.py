@@ -1,0 +1,101 @@
+"""D2TCP: Deadline-Aware Data Center TCP (Vamanan et al., SIGCOMM 2012).
+
+The paper's introduction cites D2TCP as the flagship protocol "built on
+top of DCTCP", so the reproduction includes it as a related-work
+module.  D2TCP keeps DCTCP's machinery — per-window alpha, proportional
+cuts — but gamma-corrects the congestion penalty with a per-flow
+*urgency*:
+
+    p = alpha ** d,      cwnd <- cwnd * (1 - p/2)
+
+where ``d`` is the deadline imminence factor, clamped to
+``[d_min, d_max]`` (the paper uses [0.5, 2.0]):
+
+    d = Tc / D
+    Tc = time this flow still needs at its current rate
+    D  = time left until its deadline
+
+Far-deadline flows (``d < 1``) exaggerate the penalty and yield
+bandwidth; near-deadline flows (``d > 1``) shrink it and push harder.
+A flow without a deadline uses ``d = 1`` and *is* DCTCP exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sim.packet import Packet
+from repro.sim.tcp.sender import DctcpSender
+
+__all__ = ["D2tcpSender"]
+
+
+class D2tcpSender(DctcpSender):
+    """DCTCP with gamma-corrected, deadline-aware congestion penalties."""
+
+    def __init__(
+        self,
+        *args,
+        deadline: Optional[float] = None,
+        d_min: float = 0.5,
+        d_max: float = 2.0,
+        **kwargs,
+    ):
+        super().__init__(*args, **kwargs)
+        if d_min <= 0 or d_max < d_min:
+            raise ValueError(
+                f"need 0 < d_min <= d_max, got d_min={d_min}, d_max={d_max}"
+            )
+        #: Absolute simulated time by which the transfer should finish;
+        #: None = no deadline (behaves exactly like DCTCP).
+        self.deadline = deadline
+        self.d_min = d_min
+        self.d_max = d_max
+        self.deadline_missed = False
+
+    # ------------------------------------------------------------------
+
+    def urgency(self) -> float:
+        """The deadline imminence factor ``d``, clamped to [d_min, d_max].
+
+        ``Tc`` is estimated from the bytes left and the current rate
+        (cwnd per RTT); with no deadline, or before an RTT estimate
+        exists, the factor is 1 (DCTCP behaviour).
+        """
+        if self.deadline is None or self.total_packets is None:
+            return 1.0
+        if self.rtt.samples == 0:
+            return 1.0
+        remaining_packets = self.total_packets - self.highest_ack
+        if remaining_packets <= 0:
+            return 1.0
+        rate = max(self.cwnd, 1.0) / max(self.rtt.srtt, 1e-9)
+        needed = remaining_packets / rate
+        left = self.deadline - self.sim.now
+        if left <= 0:
+            self.deadline_missed = True
+            return self.d_max
+        return min(self.d_max, max(self.d_min, needed / left))
+
+    # ------------------------------------------------------------------
+
+    def _on_ecn_feedback(self, packet: Packet, newly_acked: int) -> None:
+        covered = max(newly_acked, 0)
+        if covered:
+            self._window_acked += covered
+            if packet.ece:
+                self._window_marked += covered
+
+        if self.highest_ack >= self._alpha_seq and self._window_acked > 0:
+            fraction = self._window_marked / self._window_acked
+            self.alpha = (1.0 - self.g) * self.alpha + self.g * fraction
+            self._window_acked = 0
+            self._window_marked = 0
+            self._alpha_seq = self.next_seq
+
+        if packet.ece and self.highest_ack > self._cut_end:
+            # The D2TCP gamma correction replaces DCTCP's alpha/2 cut.
+            penalty = self.alpha ** self.urgency()
+            self.cwnd = max(self.cwnd * (1.0 - penalty / 2.0), 1.0)
+            self.ssthresh = max(self.cwnd, 2.0)
+            self._cut_end = self.next_seq

@@ -1,0 +1,85 @@
+"""Flow wiring: one sender endpoint + one receiver endpoint, matched ids.
+
+:func:`open_flow` is the one-stop constructor the applications and
+experiments use: it allocates a flow id, builds the requested sender
+variant on the source host and a receiver on the destination host,
+registers both for demux, and returns the pair as a :class:`Flow`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import Callable, Optional, Type
+
+from repro.sim.node import Host
+from repro.sim.tcp.receiver import TcpReceiver
+from repro.sim.tcp.sender import DctcpSender, TcpSender
+
+__all__ = ["Flow", "open_flow"]
+
+_flow_ids = itertools.count(1)
+
+
+@dataclasses.dataclass
+class Flow:
+    """A unidirectional transport connection."""
+
+    flow_id: int
+    sender: TcpSender
+    receiver: TcpReceiver
+
+    @property
+    def completed(self) -> bool:
+        return self.sender.completed
+
+    def start(self, delay: float = 0.0) -> None:
+        self.sender.start(delay)
+
+    def close(self) -> None:
+        """Unregister both endpoints (used when churning many flows)."""
+        self.sender.host.unregister_endpoint(self.flow_id)
+        self.receiver.host.unregister_endpoint(self.flow_id)
+
+
+def open_flow(
+    src: Host,
+    dst: Host,
+    sender_cls: Type[TcpSender] = DctcpSender,
+    total_packets: Optional[int] = None,
+    on_complete: Optional[Callable[[float], None]] = None,
+    on_data: Optional[Callable[[int], None]] = None,
+    delayed_ack_factor: int = 1,
+    **sender_kwargs,
+) -> Flow:
+    """Create and register a ``src -> dst`` connection.
+
+    ``sender_kwargs`` pass through to the sender class (``initial_cwnd``,
+    ``min_rto``, ``g`` for DCTCP, ``use_sack``, ...).  When ``use_sack``
+    is requested the receiver is created with SACK generation on, so the
+    option is negotiated end-to-end like the real TCP option.
+    """
+    if src.sim is not dst.sim:
+        raise ValueError("flow endpoints must live in the same simulation")
+    flow_id = next(_flow_ids)
+    sender = sender_cls(
+        sim=src.sim,
+        host=src,
+        flow_id=flow_id,
+        peer_node_id=dst.node_id,
+        total_packets=total_packets,
+        on_complete=on_complete,
+        **sender_kwargs,
+    )
+    receiver = TcpReceiver(
+        sim=dst.sim,
+        host=dst,
+        flow_id=flow_id,
+        peer_node_id=src.node_id,
+        delayed_ack_factor=delayed_ack_factor,
+        on_data=on_data,
+        sack_enabled=sender.use_sack,
+    )
+    src.register_endpoint(flow_id, sender)
+    dst.register_endpoint(flow_id, receiver)
+    return Flow(flow_id=flow_id, sender=sender, receiver=receiver)

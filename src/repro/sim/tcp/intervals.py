@@ -1,0 +1,89 @@
+"""Disjoint integer interval set, the backing store for SACK blocks.
+
+The receiver's out-of-order buffer and the sender's SACK scoreboard both
+need the same structure: a set of integers maintained as sorted,
+disjoint, half-open ``[start, end)`` runs with cheap point insertion,
+membership, range queries, and pruning below a cumulative point.
+
+Runs are kept in a sorted list; insertion is O(log n) search + O(n)
+splice, with n being the number of *holes* in flight — single digits in
+practice.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterator, List, Tuple
+
+__all__ = ["IntervalSet"]
+
+
+class IntervalSet:
+    """Sorted disjoint half-open integer intervals."""
+
+    def __init__(self) -> None:
+        self._starts: List[int] = []
+        self._ends: List[int] = []
+
+    def __len__(self) -> int:
+        """Total count of covered integers."""
+        return sum(e - s for s, e in zip(self._starts, self._ends))
+
+    def __bool__(self) -> bool:
+        return bool(self._starts)
+
+    def __contains__(self, value: int) -> bool:
+        idx = bisect.bisect_right(self._starts, value) - 1
+        return idx >= 0 and value < self._ends[idx]
+
+    def __iter__(self) -> Iterator[int]:
+        for start, end in zip(self._starts, self._ends):
+            yield from range(start, end)
+
+    @property
+    def blocks(self) -> List[Tuple[int, int]]:
+        """The runs as ``[start, end)`` tuples, ascending."""
+        return list(zip(self._starts, self._ends))
+
+    def add(self, value: int) -> None:
+        """Insert one integer, merging with adjacent runs."""
+        self.add_range(value, value + 1)
+
+    def add_range(self, start: int, end: int) -> None:
+        """Insert ``[start, end)``, merging any overlapped/adjacent runs."""
+        if end <= start:
+            return
+        # Find all runs touching [start, end] (adjacency merges too).
+        lo = bisect.bisect_left(self._ends, start)
+        hi = bisect.bisect_right(self._starts, end)
+        if lo < hi:
+            start = min(start, self._starts[lo])
+            end = max(end, self._ends[hi - 1])
+        del self._starts[lo:hi]
+        del self._ends[lo:hi]
+        self._starts.insert(lo, start)
+        self._ends.insert(lo, end)
+
+    def remove_below(self, point: int) -> None:
+        """Drop everything strictly below ``point`` (cumulative-ACK prune)."""
+        idx = bisect.bisect_right(self._ends, point)
+        del self._starts[:idx]
+        del self._ends[:idx]
+        if self._starts and self._starts[0] < point:
+            self._starts[0] = point
+
+    def first_gap_at_or_after(self, point: int) -> int:
+        """Smallest integer >= ``point`` not in the set."""
+        value = point
+        idx = bisect.bisect_right(self._starts, value) - 1
+        if idx >= 0 and value < self._ends[idx]:
+            value = self._ends[idx]
+        return value
+
+    def clear(self) -> None:
+        self._starts.clear()
+        self._ends.clear()
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"[{s},{e})" for s, e in self.blocks)
+        return f"IntervalSet({inner})"

@@ -1,0 +1,456 @@
+"""TCP sender endpoints: Reno, ECN-Reno, and DCTCP.
+
+The sender implements the loss-recovery core every variant shares —
+slow start, congestion avoidance, fast retransmit on three duplicate
+ACKs with NewReno-style partial-ACK retransmission, and RTO with
+exponential backoff (Karn's rule observed) — and hooks for the
+ECN reaction, which is where the variants differ:
+
+* :class:`RenoSender` ignores ECE (pure loss-based control, the
+  pre-DCTCP baseline);
+* :class:`EcnRenoSender` treats ECE like a loss signal: one half-window
+  cut per round trip (RFC 3168 behaviour);
+* :class:`DctcpSender` implements the paper's Section II-A sender —
+  per-window marked-fraction estimate ``alpha`` updated with gain ``g``
+  (Eq. 2's discrete original) and a proportional cut
+  ``cwnd *= (1 - alpha/2)`` at most once per window of data.
+
+Sequence numbers count MSS-sized packets, the unit used throughout the
+paper's analysis.  The congestion window is a float in packets; the
+number of packets in flight is bounded by its floor.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, TYPE_CHECKING
+
+from repro.sim.packet import MSS_BYTES, Packet
+from repro.sim.tcp.intervals import IntervalSet
+from repro.sim.tcp.rto import DEFAULT_MIN_RTO, RttEstimator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Simulator
+    from repro.sim.node import Host
+
+__all__ = ["TcpSender", "RenoSender", "EcnRenoSender", "DctcpSender"]
+
+#: Conventional "infinite" slow-start threshold.
+INITIAL_SSTHRESH = 1e9
+
+
+class TcpSender:
+    """Common sending endpoint; subclasses specialise the ECN reaction."""
+
+    #: Whether data packets are sent ECN-capable (ECT codepoint).
+    ecn_capable = True
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        host: "Host",
+        flow_id: int,
+        peer_node_id: int,
+        total_packets: Optional[int] = None,
+        initial_cwnd: float = 10.0,
+        mss_bytes: int = MSS_BYTES,
+        min_rto: float = DEFAULT_MIN_RTO,
+        max_rto: float = 60.0,
+        initial_rto: float = 1.0,
+        use_sack: bool = False,
+        receive_window: Optional[int] = None,
+        on_complete: Optional[Callable[[float], None]] = None,
+    ):
+        if total_packets is not None and total_packets <= 0:
+            raise ValueError(f"total_packets must be positive, got {total_packets}")
+        if initial_cwnd < 1:
+            raise ValueError(f"initial_cwnd must be >= 1, got {initial_cwnd}")
+        if receive_window is not None and receive_window < 1:
+            raise ValueError(
+                f"receive_window must be >= 1 packet, got {receive_window}"
+            )
+        self.sim = sim
+        self.host = host
+        self.flow_id = flow_id
+        self.peer_node_id = peer_node_id
+        self.total_packets = total_packets
+        self.mss_bytes = mss_bytes
+        #: Advertised receive window in packets (flow control): the
+        #: sending window is min(cwnd, rwnd).  Capping it per worker is
+        #: the classic application-level incast mitigation.  None = no cap.
+        self.receive_window = receive_window
+        self.on_complete = on_complete
+
+        self.cwnd: float = float(initial_cwnd)
+        self.ssthresh: float = INITIAL_SSTHRESH
+        self.next_seq = 0
+        #: Highest sequence ever transmitted plus one; after an RTO the
+        #: send pointer rewinds below this (go-back-N), and anything
+        #: below it re-sent counts as a retransmission (Karn's rule).
+        self._high_water = 0
+        self.highest_ack = 0
+        self.dup_acks = 0
+        self._in_recovery = False
+        self._recover_seq = 0
+
+        #: RFC 6675-style selective-acknowledgment recovery.  The
+        #: scoreboard records ranges the receiver holds beyond the
+        #: cumulative point; in recovery the sender retransmits the holes
+        #: in order (ACK-clocked) and counts SACKed packets out of the
+        #: pipe, instead of NewReno's one-hole-per-RTT crawl.
+        self.use_sack = use_sack
+        self._sacked = IntervalSet()
+        self._sack_rtx_next = 0
+
+        self.rtt = RttEstimator(
+            min_rto=min_rto, max_rto=max_rto, initial_rto=initial_rto
+        )
+        self._rto_timer = None
+        self._rto_deadline: Optional[float] = None
+        self._send_times: Dict[int, float] = {}
+        self._started = False
+        self._completed = False
+
+        # Counters for the harness.
+        self.packets_sent = 0
+        self.retransmits = 0
+        self.timeouts = 0
+        self.ece_seen = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self, delay: float = 0.0) -> None:
+        """Begin transmitting after ``delay`` seconds of simulated time."""
+        if self._started:
+            raise RuntimeError(f"flow {self.flow_id} already started")
+        self._started = True
+        self.sim.schedule(delay, self._initial_send)
+
+    def _initial_send(self) -> None:
+        self._try_send()
+
+    @property
+    def completed(self) -> bool:
+        """True once every packet of a sized transfer is acknowledged."""
+        return self._completed
+
+    @property
+    def in_flight(self) -> int:
+        """Packets sent but not yet cumulatively acknowledged."""
+        return self.next_seq - self.highest_ack
+
+    @property
+    def pipe(self) -> int:
+        """Outstanding packets believed to be in the network.
+
+        With SACK, packets the receiver already holds are subtracted
+        (RFC 6675's pipe estimate); without it, equals :attr:`in_flight`.
+        """
+        if self.use_sack:
+            return self.in_flight - len(self._sacked)
+        return self.in_flight
+
+    # ------------------------------------------------------------------
+    # Transmission
+    # ------------------------------------------------------------------
+
+    def _more_to_send(self) -> bool:
+        return self.total_packets is None or self.next_seq < self.total_packets
+
+    def _try_send(self) -> None:
+        window = int(self.cwnd)
+        if self.receive_window is not None:
+            window = min(window, self.receive_window)
+        while self._more_to_send() and self.pipe < window:
+            self._transmit(self.next_seq, retransmit=self.next_seq < self._high_water)
+            self.next_seq += 1
+        self._arm_rto()
+
+    def _transmit(self, seq: int, retransmit: bool) -> None:
+        packet = Packet(
+            flow_id=self.flow_id,
+            src=self.host.node_id,
+            dst=self.peer_node_id,
+            seq=seq,
+            size_bytes=self.mss_bytes,
+            ecn_capable=self.ecn_capable,
+        )
+        packet.is_retransmit = retransmit
+        if retransmit:
+            self.retransmits += 1
+            # Karn's rule: a retransmitted sequence yields no RTT sample.
+            self._send_times.pop(seq, None)
+        else:
+            packet.sent_at = self.sim.now
+            self._send_times[seq] = self.sim.now
+        self._high_water = max(self._high_water, seq + 1)
+        self.packets_sent += 1
+        self.host.send(packet)
+
+    # ------------------------------------------------------------------
+    # ACK processing
+    # ------------------------------------------------------------------
+
+    def on_packet(self, packet: Packet) -> None:
+        if not packet.is_ack or self._completed:
+            return
+        if packet.ece:
+            self.ece_seen += 1
+        if self.use_sack and packet.sack_blocks:
+            for start, end in packet.sack_blocks:
+                self._sacked.add_range(start, end)
+
+        if packet.ack_seq > self.highest_ack:
+            self._on_new_ack(packet)
+        elif packet.ack_seq == self.highest_ack:
+            self._on_duplicate_ack(packet)
+        # ACKs below the cumulative point are stale; ignored.
+
+        if not self._completed:
+            self._try_send()
+
+    def _on_new_ack(self, packet: Packet) -> None:
+        newly = packet.ack_seq - self.highest_ack
+        old_highest = self.highest_ack
+        self.highest_ack = packet.ack_seq
+        # After a go-back-N rewind the cumulative ACK can leap past the
+        # send pointer (the receiver had the "lost" tail buffered all
+        # along); snap the pointer forward so in_flight stays correct.
+        self.next_seq = max(self.next_seq, self.highest_ack)
+        self.dup_acks = 0
+        if self.use_sack:
+            self._sacked.remove_below(self.highest_ack)
+
+        sample_time = self._send_times.pop(packet.ack_seq - 1, None)
+        for seq in range(old_highest, packet.ack_seq - 1):
+            self._send_times.pop(seq, None)
+        # Guard against zero-delay acknowledgements (possible only with
+        # synthetic/looped-back ACKs): the estimator needs rtt > 0.
+        if sample_time is not None and self.sim.now > sample_time:
+            self.rtt.on_sample(self.sim.now - sample_time)
+            self.rtt.reset_backoff()
+
+        self._on_ecn_feedback(packet, newly)
+
+        if self._in_recovery:
+            if packet.ack_seq >= self._recover_seq:
+                self._in_recovery = False
+                self.cwnd = max(self.ssthresh, 1.0)
+            elif self.use_sack:
+                # SACK partial ACK: fill the lowest remaining hole.
+                self._sack_retransmit_one()
+            else:
+                # NewReno partial ACK: the next hole is lost too.
+                self._transmit(self.highest_ack, retransmit=True)
+        else:
+            self._grow_window(newly)
+
+        if (
+            self.total_packets is not None
+            and self.highest_ack >= self.total_packets
+        ):
+            self._complete()
+            return
+        self._arm_rto()
+
+    def _grow_window(self, newly_acked: int) -> None:
+        if self.cwnd < self.ssthresh:
+            self.cwnd += float(newly_acked)
+        else:
+            self.cwnd += float(newly_acked) / self.cwnd
+
+    def _on_duplicate_ack(self, packet: Packet) -> None:
+        # A dupack for an empty window is a stray (e.g. delayed ACK after
+        # recovery already moved on); only count when data is in flight.
+        if self.in_flight == 0:
+            return
+        self.dup_acks += 1
+        self._on_ecn_feedback(packet, 0)
+        if self.dup_acks == 3 and not self._in_recovery:
+            self._enter_recovery()
+        elif self._in_recovery and self.use_sack:
+            # ACK-clocked hole filling while recovery lasts.
+            self._sack_retransmit_one()
+
+    def _enter_recovery(self) -> None:
+        self.ssthresh = max(self.cwnd / 2.0, 2.0)
+        self.cwnd = self.ssthresh
+        self._in_recovery = True
+        self._recover_seq = self.next_seq
+        self._transmit(self.highest_ack, retransmit=True)
+        self._sack_rtx_next = self.highest_ack + 1
+        self._arm_rto()
+
+    def _next_sack_hole(self) -> Optional[int]:
+        """Lowest unretransmitted, un-SACKed hole inside the recovery
+        window, or None when every hole has been filled once.
+
+        A sequence only counts as a hole when SACKed data exists *above*
+        it (RFC 6675's loss inference): everything beyond the highest
+        SACKed packet is merely still in flight, not missing.
+        """
+        if not self._sacked:
+            return None
+        highest_sacked_end = self._sacked.blocks[-1][1]
+        start = max(self._sack_rtx_next, self.highest_ack)
+        hole = self._sacked.first_gap_at_or_after(start)
+        if hole >= min(self._recover_seq, self.next_seq, highest_sacked_end):
+            return None
+        return hole
+
+    def _sack_retransmit_one(self) -> None:
+        hole = self._next_sack_hole()
+        if hole is not None:
+            self._transmit(hole, retransmit=True)
+            self._sack_rtx_next = hole + 1
+
+    # ------------------------------------------------------------------
+    # ECN reaction (the variant-specific part)
+    # ------------------------------------------------------------------
+
+    def _on_ecn_feedback(self, packet: Packet, newly_acked: int) -> None:
+        """Hook: called for every processed ACK, ECE or not."""
+
+    # ------------------------------------------------------------------
+    # RTO
+    # ------------------------------------------------------------------
+
+    def _arm_rto(self) -> None:
+        """Slide the retransmission deadline forward from *now*.
+
+        The deadline-check pattern: acknowledgements only move the
+        ``_rto_deadline`` variable; the single pending timer event checks
+        it when it fires and re-sleeps if the deadline has since moved.
+        This avoids one heap cancellation per ACK.
+        """
+        if self.in_flight == 0:
+            self._rto_deadline = None
+            return
+        self._rto_deadline = self.sim.now + self.rtt.rto
+        if self._rto_timer is None:
+            self._rto_timer = self.sim.schedule(self.rtt.rto, self._on_rto)
+        elif self._rto_timer.time > self._rto_deadline + 1e-12:
+            # The pending event would fire too late (the RTO shrank, e.g.
+            # after the first RTT samples); bring it forward.
+            self._rto_timer.cancel()
+            self._rto_timer = self.sim.schedule(self.rtt.rto, self._on_rto)
+
+    def _cancel_rto(self) -> None:
+        self._rto_deadline = None
+        if self._rto_timer is not None:
+            self._rto_timer.cancel()
+            self._rto_timer = None
+
+    def _on_rto(self) -> None:
+        self._rto_timer = None
+        if self._completed or self._rto_deadline is None or self.in_flight == 0:
+            return
+        if self.sim.now < self._rto_deadline - 1e-12:
+            # The deadline moved while we slept; sleep out the remainder.
+            self._rto_timer = self.sim.schedule(
+                self._rto_deadline - self.sim.now, self._on_rto
+            )
+            return
+        self.timeouts += 1
+        self.ssthresh = max(self.cwnd / 2.0, 2.0)
+        self.cwnd = 1.0
+        self.dup_acks = 0
+        self._in_recovery = False
+        # The scoreboard is cleared with the go-back-N rewind: everything
+        # outstanding is presumed lost and will be resent anyway.
+        self._sacked.clear()
+        self._sack_rtx_next = 0
+        self.rtt.backoff()
+        # Go-back-N: everything outstanding is presumed lost; the send
+        # pointer rewinds to the first unacknowledged packet and slow
+        # start re-covers the window (re-sent sequences below the high
+        # water mark count as retransmissions and take no RTT samples).
+        self.next_seq = self.highest_ack
+        self._transmit(self.next_seq, retransmit=True)
+        self.next_seq += 1
+        self._rto_deadline = self.sim.now + self.rtt.rto
+        self._rto_timer = self.sim.schedule(self.rtt.rto, self._on_rto)
+
+    # ------------------------------------------------------------------
+    # Completion
+    # ------------------------------------------------------------------
+
+    def _complete(self) -> None:
+        self._completed = True
+        self._cancel_rto()
+        self._send_times.clear()
+        if self.on_complete is not None:
+            self.on_complete(self.sim.now)
+
+
+class RenoSender(TcpSender):
+    """Loss-only TCP; data is sent not-ECN-capable so switches drop."""
+
+    ecn_capable = False
+
+
+class EcnRenoSender(TcpSender):
+    """RFC 3168 TCP: an ECE mark triggers a half-window cut once per RTT."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._cut_end = 0
+
+    def _on_ecn_feedback(self, packet: Packet, newly_acked: int) -> None:
+        if packet.ece and self.highest_ack > self._cut_end:
+            self.ssthresh = max(self.cwnd / 2.0, 2.0)
+            self.cwnd = self.ssthresh
+            self._cut_end = self.next_seq
+
+
+class DctcpSender(TcpSender):
+    """The paper's DCTCP sender (Section II-A).
+
+    Maintains ``alpha``, the EWMA of the per-window marked fraction
+    ``F``, and on the first ECE of a window cuts
+    ``cwnd *= (1 - alpha/2)``: a gentle, congestion-extent-proportional
+    decrease instead of Reno's blind halving.  Identical sender behaviour
+    serves both DCTCP and DT-DCTCP — the paper's change is entirely in
+    the switch's marking rule.
+    """
+
+    def __init__(
+        self, *args, g: float = 1.0 / 16.0, initial_alpha: float = 1.0, **kwargs
+    ):
+        super().__init__(*args, **kwargs)
+        if not 0.0 < g < 1.0:
+            raise ValueError(f"g must lie in (0, 1), got {g}")
+        if not 0.0 <= initial_alpha <= 1.0:
+            raise ValueError(f"initial_alpha must lie in [0, 1], got {initial_alpha}")
+        self.g = g
+        #: Start pessimistic (alpha = 1), as production DCTCP stacks do:
+        #: a cold-start sender that receives marks before its first
+        #: alpha update would otherwise compute a zero cut and steamroll
+        #: the switch buffer — fatal in incast.
+        self.alpha = initial_alpha
+        self._window_acked = 0
+        self._window_marked = 0
+        self._alpha_seq = 0
+        self._cut_end = 0
+
+    def _on_ecn_feedback(self, packet: Packet, newly_acked: int) -> None:
+        covered = max(newly_acked, 0)
+        if covered:
+            self._window_acked += covered
+            if packet.ece:
+                self._window_marked += covered
+
+        # One alpha update per window of data (~one RTT).
+        if self.highest_ack >= self._alpha_seq and self._window_acked > 0:
+            fraction = self._window_marked / self._window_acked
+            self.alpha = (1.0 - self.g) * self.alpha + self.g * fraction
+            self._window_acked = 0
+            self._window_marked = 0
+            self._alpha_seq = self.next_seq
+
+        # One proportional cut per window containing any mark.
+        if packet.ece and self.highest_ack > self._cut_end:
+            self.cwnd = max(self.cwnd * (1.0 - self.alpha / 2.0), 1.0)
+            self.ssthresh = max(self.cwnd, 2.0)
+            self._cut_end = self.next_seq

@@ -1,0 +1,280 @@
+"""Topology construction: the generic builder plus the paper's two setups.
+
+:class:`Network` owns the simulator, the nodes, and every interface, and
+offers ``connect`` to wire two nodes with a full-duplex link (two
+independent :class:`~repro.sim.link.Interface` objects, each with its own
+queue discipline).
+
+Builders:
+
+* :func:`dumbbell` — N sender hosts, one switch, one receiver host: the
+  Section VI-A simulation scenario ("N servers send messages to one
+  client"), with the marking queue on the switch's port toward the
+  receiver.
+* :func:`paper_testbed` — Figure 13: Switch 1 with the aggregator host
+  and three leaf switches, each leaf with three worker hosts.  1 Gbps
+  everywhere, 128 KB marking buffers on Switch 1, 512 KB DropTail on the
+  leaves, ~100 us propagation RTT between hosts on the same leaf.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.marking import Marker, NullMarker
+from repro.sim.engine import Simulator
+from repro.sim.link import Interface
+from repro.sim.node import Host, Node, Switch
+from repro.sim.queues import FifoQueue
+from repro.sim.routing import populate_routes
+
+__all__ = ["Network", "DumbbellNetwork", "TestbedNetwork", "dumbbell", "paper_testbed"]
+
+#: A factory returning a fresh marker for one queue (markers are stateful).
+MarkerFactory = Callable[[], Marker]
+
+
+def _droptail() -> Marker:
+    return NullMarker()
+
+
+class Network:
+    """A simulator plus its nodes and links."""
+
+    def __init__(self, sim: Optional[Simulator] = None):
+        self.sim = sim if sim is not None else Simulator()
+        self.nodes: List[Node] = []
+        #: (a_id, b_id) pairs, one per full-duplex link (both orders kept).
+        self.adjacency: List[Tuple[int, int]] = []
+        self._interfaces: Dict[Tuple[int, int], Interface] = {}
+
+    def add_host(self, name: str = "") -> Host:
+        host = Host(self.sim, name)
+        self.nodes.append(host)
+        return host
+
+    def add_switch(self, name: str = "") -> Switch:
+        switch = Switch(self.sim, name)
+        self.nodes.append(switch)
+        return switch
+
+    def connect(
+        self,
+        a: Node,
+        b: Node,
+        bandwidth_bps: float,
+        prop_delay: float,
+        queue_a_to_b: FifoQueue,
+        queue_b_to_a: FifoQueue,
+    ) -> Tuple[Interface, Interface]:
+        """Wire ``a`` and ``b`` with a full-duplex link.
+
+        Each direction gets its own queue discipline — the paper's
+        marking applies only on the congested direction (toward the
+        client/aggregator), so callers typically pass a marking queue one
+        way and a large DropTail queue the other.
+        """
+        ab = Interface(
+            self.sim, bandwidth_bps, prop_delay, queue_a_to_b,
+            name=f"{a.name}->{b.name}",
+        )
+        ba = Interface(
+            self.sim, bandwidth_bps, prop_delay, queue_b_to_a,
+            name=f"{b.name}->{a.name}",
+        )
+        ab.connect(b)
+        ba.connect(a)
+        self._attach(a, ab)
+        self._attach(b, ba)
+        self._interfaces[(a.node_id, b.node_id)] = ab
+        self._interfaces[(b.node_id, a.node_id)] = ba
+        self.adjacency.append((a.node_id, b.node_id))
+        self.adjacency.append((b.node_id, a.node_id))
+        return ab, ba
+
+    @staticmethod
+    def _attach(node: Node, interface: Interface) -> None:
+        if isinstance(node, Host):
+            node.attach_nic(interface)
+        elif isinstance(node, Switch):
+            node.add_interface(interface)
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"cannot attach interface to {node!r}")
+
+    def interface_between(self, a_id: int, b_id: int) -> Interface:
+        """The sending interface from node ``a_id`` toward neighbour ``b_id``."""
+        try:
+            return self._interfaces[(a_id, b_id)]
+        except KeyError:
+            raise KeyError(f"no link between nodes {a_id} and {b_id}") from None
+
+    def finalize_routes(self) -> None:
+        """Install static shortest-path routes on all switches."""
+        populate_routes(self)
+
+
+@dataclasses.dataclass
+class DumbbellNetwork:
+    """The Section VI-A simulation scenario, ready to attach flows to."""
+
+    network: Network
+    senders: List[Host]
+    receiver: Host
+    switch: Switch
+    #: The marking queue all flows share (switch port toward the receiver).
+    bottleneck_queue: FifoQueue
+
+    @property
+    def sim(self) -> Simulator:
+        return self.network.sim
+
+
+def dumbbell(
+    n_senders: int,
+    marker_factory: MarkerFactory,
+    bandwidth_bps: float = 10e9,
+    rtt: float = 100e-6,
+    bottleneck_buffer_bytes: float = 4.0 * 1024 * 1024,
+    edge_buffer_bytes: float = 16.0 * 1024 * 1024,
+) -> DumbbellNetwork:
+    """N senders -> switch -> one receiver, marking on the shared port.
+
+    The propagation RTT budget is split evenly over the four directed
+    hops (sender->switch, switch->receiver and the ACK path back), so
+    the no-load RTT equals ``rtt``.  Edge and bottleneck links run at the
+    same rate, which puts all contention on the switch's egress port —
+    the paper's single-bottleneck assumption.
+
+    The default bottleneck buffer is deliberately deep (ECN, not loss,
+    should govern steady-state behaviour in Figures 10-12); the incast
+    experiments use :func:`paper_testbed` with its shallow 128 KB port.
+    """
+    if n_senders <= 0:
+        raise ValueError(f"n_senders must be positive, got {n_senders}")
+    net = Network()
+    switch = net.add_switch("switch")
+    receiver = net.add_host("client")
+    per_hop = rtt / 4.0
+
+    senders = []
+    for i in range(n_senders):
+        sender = net.add_host(f"server{i}")
+        net.connect(
+            sender,
+            switch,
+            bandwidth_bps,
+            per_hop,
+            queue_a_to_b=FifoQueue(edge_buffer_bytes, name=f"{sender.name}-up"),
+            queue_b_to_a=FifoQueue(edge_buffer_bytes, name=f"{sender.name}-down"),
+        )
+        senders.append(sender)
+
+    bottleneck_queue = FifoQueue(
+        bottleneck_buffer_bytes, marker=marker_factory(), name="bottleneck"
+    )
+    net.connect(
+        switch,
+        receiver,
+        bandwidth_bps,
+        per_hop,
+        queue_a_to_b=bottleneck_queue,
+        queue_b_to_a=FifoQueue(edge_buffer_bytes, name="client-up"),
+    )
+    net.finalize_routes()
+    return DumbbellNetwork(
+        network=net,
+        senders=senders,
+        receiver=receiver,
+        switch=switch,
+        bottleneck_queue=bottleneck_queue,
+    )
+
+
+@dataclasses.dataclass
+class TestbedNetwork:
+    """Figure 13's topology, ready for incast / partition-aggregate runs."""
+
+    network: Network
+    aggregator: Host
+    workers: List[Host]
+    core_switch: Switch
+    leaf_switches: List[Switch]
+    #: Switch 1's marking port toward the aggregator — the bottleneck.
+    bottleneck_queue: FifoQueue
+
+    @property
+    def sim(self) -> Simulator:
+        return self.network.sim
+
+
+def paper_testbed(
+    marker_factory: MarkerFactory,
+    n_leaves: int = 3,
+    hosts_per_leaf: int = 3,
+    bandwidth_bps: float = 1e9,
+    bottleneck_buffer_bytes: float = 128.0 * 1024,
+    leaf_buffer_bytes: float = 512.0 * 1024,
+    per_hop_delay: float = 25e-6,
+) -> TestbedNetwork:
+    """Figure 13: core switch + aggregator, three leaves of three hosts.
+
+    Only the core switch's port toward the aggregator runs the marking
+    mechanism and the shallow 128 KB buffer; everything else is DropTail
+    with 512 KB, exactly as Section VI-B describes.  The default per-hop
+    propagation delay makes the *propagation* RTT between two hosts on
+    the same leaf (4 hops) the paper's ~100 us.
+    """
+    if n_leaves <= 0 or hosts_per_leaf <= 0:
+        raise ValueError("testbed needs at least one leaf and one host per leaf")
+    net = Network()
+    core = net.add_switch("switch1")
+    aggregator = net.add_host("aggregator")
+
+    bottleneck_queue = FifoQueue(
+        bottleneck_buffer_bytes, marker=marker_factory(), name="bottleneck"
+    )
+    net.connect(
+        core,
+        aggregator,
+        bandwidth_bps,
+        per_hop_delay,
+        queue_a_to_b=bottleneck_queue,
+        queue_b_to_a=FifoQueue(leaf_buffer_bytes, name="aggregator-up"),
+    )
+
+    leaves: List[Switch] = []
+    workers: List[Host] = []
+    for leaf_idx in range(n_leaves):
+        leaf = net.add_switch(f"switch{leaf_idx + 2}")
+        leaves.append(leaf)
+        net.connect(
+            leaf,
+            core,
+            bandwidth_bps,
+            per_hop_delay,
+            queue_a_to_b=FifoQueue(leaf_buffer_bytes, name=f"{leaf.name}-up"),
+            queue_b_to_a=FifoQueue(leaf_buffer_bytes, name=f"{leaf.name}-down"),
+        )
+        for host_idx in range(hosts_per_leaf):
+            worker = net.add_host(f"worker{leaf_idx}-{host_idx}")
+            workers.append(worker)
+            net.connect(
+                worker,
+                leaf,
+                bandwidth_bps,
+                per_hop_delay,
+                queue_a_to_b=FifoQueue(leaf_buffer_bytes, name=f"{worker.name}-up"),
+                queue_b_to_a=FifoQueue(
+                    leaf_buffer_bytes, name=f"{worker.name}-down"
+                ),
+            )
+    net.finalize_routes()
+    return TestbedNetwork(
+        network=net,
+        aggregator=aggregator,
+        workers=workers,
+        core_switch=core,
+        leaf_switches=leaves,
+        bottleneck_queue=bottleneck_queue,
+    )

@@ -1,0 +1,207 @@
+"""Measurement probes: queue sampler, alpha sampler, throughput meter.
+
+Probes are periodic self-rescheduling events, matching how ns-2
+experiments sample state.  They are cheap (one event per sample period,
+no per-packet cost) and return plain numpy arrays for the statistics
+layer.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.sim.engine import Simulator
+from repro.sim.queues import FifoQueue
+from repro.sim.tcp.sender import DctcpSender
+
+__all__ = [
+    "QueueMonitor",
+    "AlphaMonitor",
+    "ThroughputMeter",
+    "TrackedFifoQueue",
+]
+
+
+class QueueMonitor:
+    """Samples a queue's occupancy (packets and bytes) periodically."""
+
+    def __init__(self, sim: Simulator, queue: FifoQueue, interval: float):
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        self.sim = sim
+        self.queue = queue
+        self.interval = interval
+        self.times: List[float] = []
+        self.lengths: List[int] = []
+        self.byte_lengths: List[int] = []
+        self._running = False
+
+    def start(self, delay: float = 0.0) -> None:
+        if self._running:
+            raise RuntimeError("monitor already started")
+        self._running = True
+        self.sim.schedule(delay, self._sample)
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _sample(self) -> None:
+        if not self._running:
+            return
+        self.times.append(self.sim.now)
+        self.lengths.append(self.queue.len_packets)
+        self.byte_lengths.append(self.queue.len_bytes)
+        self.sim.schedule(self.interval, self._sample)
+
+    def series(self, after: float = 0.0) -> np.ndarray:
+        """Queue lengths (packets) sampled at or after ``after`` seconds."""
+        t = np.asarray(self.times)
+        q = np.asarray(self.lengths, dtype=float)
+        return q[t >= after]
+
+    def time_series(self, after: float = 0.0):
+        """``(times, lengths)`` pair for plotting-style consumers."""
+        t = np.asarray(self.times)
+        q = np.asarray(self.lengths, dtype=float)
+        mask = t >= after
+        return t[mask], q[mask]
+
+
+class TrackedFifoQueue(FifoQueue):
+    """A FIFO that logs its occupancy at *every* enqueue/dequeue/drop.
+
+    Periodic sampling (:class:`QueueMonitor`) can alias against the
+    oscillation; the event-driven record is exact, at the cost of one
+    appended pair per packet event.  Pair with
+    :func:`repro.stats.time_weighted_mean` /
+    :func:`repro.stats.time_weighted_std` for unbiased statistics.
+    """
+
+    def __init__(self, sim: Simulator, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._sim = sim
+        self.event_times: List[float] = [sim.now]
+        self.event_lengths: List[int] = [0]
+
+    def _record(self) -> None:
+        self.event_times.append(self._sim.now)
+        self.event_lengths.append(self.len_packets)
+
+    def enqueue(self, packet) -> bool:
+        admitted = super().enqueue(packet)
+        # Drops are recorded too: the occupancy observation still
+        # happened even though it did not change.
+        self._record()
+        return admitted
+
+    def dequeue(self):
+        packet = super().dequeue()
+        if packet is not None:
+            self._record()
+        return packet
+
+    def time_weighted_mean(self, after: float = 0.0) -> float:
+        from repro.stats import time_weighted_mean
+
+        t, q = self._series_after(after)
+        return time_weighted_mean(t, q)
+
+    def time_weighted_std(self, after: float = 0.0) -> float:
+        from repro.stats import time_weighted_std
+
+        t, q = self._series_after(after)
+        return time_weighted_std(t, q)
+
+    def _series_after(self, after: float):
+        t = np.asarray(self.event_times)
+        q = np.asarray(self.event_lengths, dtype=float)
+        mask = t >= after
+        if mask.sum() < 2:
+            raise ValueError("not enough queue events after the warmup")
+        return t[mask], q[mask]
+
+
+class AlphaMonitor:
+    """Samples the mean DCTCP ``alpha`` across a set of senders.
+
+    Figure 12 reports the average congestion-extent estimate; senders
+    that are not DCTCP (baselines) are skipped.
+    """
+
+    def __init__(
+        self, sim: Simulator, senders: Sequence[DctcpSender], interval: float
+    ):
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        self.sim = sim
+        self.senders = [s for s in senders if isinstance(s, DctcpSender)]
+        self.interval = interval
+        self.times: List[float] = []
+        self.mean_alphas: List[float] = []
+        self._running = False
+
+    def start(self, delay: float = 0.0) -> None:
+        if self._running:
+            raise RuntimeError("monitor already started")
+        self._running = True
+        self.sim.schedule(delay, self._sample)
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _sample(self) -> None:
+        if not self._running:
+            return
+        if self.senders:
+            self.times.append(self.sim.now)
+            self.mean_alphas.append(
+                sum(s.alpha for s in self.senders) / len(self.senders)
+            )
+        self.sim.schedule(self.interval, self._sample)
+
+    def series(self, after: float = 0.0) -> np.ndarray:
+        t = np.asarray(self.times)
+        a = np.asarray(self.mean_alphas, dtype=float)
+        return a[t >= after]
+
+
+class ThroughputMeter:
+    """Counts application-level (in-order) bytes delivered over time.
+
+    Wire it to receivers via their ``on_data`` hook; ``record`` takes a
+    packet count and converts at MSS granularity.
+    """
+
+    def __init__(self, sim: Simulator, mss_bytes: int = 1500):
+        self.sim = sim
+        self.mss_bytes = mss_bytes
+        self.total_packets = 0
+        self._window_start = 0.0
+        self._window_packets = 0
+
+    def record(self, n_packets: int) -> None:
+        self.total_packets += n_packets
+        self._window_packets += n_packets
+
+    @property
+    def total_bytes(self) -> int:
+        return self.total_packets * self.mss_bytes
+
+    def goodput_bps(self, since: float = 0.0) -> float:
+        """Average delivered rate from ``since`` until now."""
+        elapsed = self.sim.now - since
+        if elapsed <= 0:
+            return 0.0
+        return self.total_bytes * 8.0 / elapsed
+
+    def window_goodput_bps(self) -> float:
+        """Rate over the current measurement window, then reset it."""
+        elapsed = self.sim.now - self._window_start
+        packets = self._window_packets
+        self._window_start = self.sim.now
+        self._window_packets = 0
+        if elapsed <= 0:
+            return 0.0
+        return packets * self.mss_bytes * 8.0 / elapsed

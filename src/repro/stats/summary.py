@@ -1,0 +1,97 @@
+"""Summary statistics used by every experiment table.
+
+Plain functions over numpy arrays, no state.  ``oscillation_amplitude``
+matches how the DF analysis measures a limit cycle (half the steady
+peak-to-trough swing), and ``tail_latency`` covers Figure 15's
+completion-time percentiles.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "mean",
+    "std",
+    "percentile",
+    "tail_latency",
+    "oscillation_amplitude",
+    "relative_to_baseline",
+    "coefficient_of_variation",
+    "jain_fairness",
+]
+
+
+def _require_nonempty(values: Sequence[float], what: str) -> np.ndarray:
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError(f"{what} requires at least one sample")
+    return arr
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean."""
+    return float(np.mean(_require_nonempty(values, "mean")))
+
+
+def std(values: Sequence[float]) -> float:
+    """Population standard deviation (what Figure 11 plots)."""
+    return float(np.std(_require_nonempty(values, "std")))
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile, ``q`` in [0, 100]."""
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile q must lie in [0, 100], got {q}")
+    return float(np.percentile(_require_nonempty(values, "percentile"), q))
+
+
+def tail_latency(values: Sequence[float]) -> Tuple[float, float, float]:
+    """``(median, p95, p99)`` of a latency sample."""
+    arr = _require_nonempty(values, "tail_latency")
+    p50, p95, p99 = np.percentile(arr, [50.0, 95.0, 99.0])
+    return float(p50), float(p95), float(p99)
+
+
+def oscillation_amplitude(values: Sequence[float]) -> float:
+    """Half the robust peak-to-trough swing (1st..99th percentile).
+
+    Comparable to the DF prediction's amplitude ``X``; the percentile
+    clip keeps one stray transient from defining the amplitude.
+    """
+    arr = _require_nonempty(values, "oscillation_amplitude")
+    hi, lo = np.percentile(arr, [99.0, 1.0])
+    return float(hi - lo) / 2.0
+
+
+def relative_to_baseline(values: Sequence[float], baseline: float) -> np.ndarray:
+    """Each value as a multiple of ``baseline`` (Figure 10's normalisation)."""
+    if baseline == 0:
+        raise ValueError("baseline must be nonzero")
+    return np.asarray(values, dtype=float) / baseline
+
+
+def jain_fairness(shares: Sequence[float]) -> float:
+    """Jain's fairness index: ``(sum x)^2 / (n sum x^2)``.
+
+    1.0 for perfectly equal shares, ``1/n`` for a single hog.  Used to
+    check that N competing DCTCP flows split the bottleneck evenly.
+    """
+    arr = _require_nonempty(shares, "jain_fairness")
+    if np.any(arr < 0):
+        raise ValueError("fairness shares must be nonnegative")
+    denom = float(len(arr) * np.sum(arr**2))
+    if denom == 0.0:
+        raise ValueError("fairness undefined for all-zero shares")
+    return float(np.sum(arr) ** 2 / denom)
+
+
+def coefficient_of_variation(values: Sequence[float]) -> float:
+    """std/mean; scale-free oscillation measure used in the ablations."""
+    arr = _require_nonempty(values, "coefficient_of_variation")
+    m = float(np.mean(arr))
+    if m == 0.0:
+        raise ValueError("coefficient of variation undefined for zero mean")
+    return float(np.std(arr)) / m

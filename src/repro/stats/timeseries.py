@@ -1,0 +1,105 @@
+"""Time-series utilities: time-weighted statistics and spectra.
+
+Periodically sampled series can use the plain :mod:`repro.stats.summary`
+functions; event-driven series (irregular timestamps) need the
+time-weighted variants here.  The spectral helpers extract the dominant
+oscillation frequency for comparison against the DF prediction's ``w``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "time_weighted_mean",
+    "time_weighted_std",
+    "dominant_frequency",
+    "autocorrelation",
+    "crossings",
+]
+
+
+def _as_series(times: Sequence[float], values: Sequence[float]):
+    t = np.asarray(times, dtype=float)
+    v = np.asarray(values, dtype=float)
+    if t.size != v.size:
+        raise ValueError(f"length mismatch: {t.size} times vs {v.size} values")
+    if t.size < 2:
+        raise ValueError("time-weighted statistics need at least two samples")
+    if np.any(np.diff(t) < 0):
+        raise ValueError("timestamps must be nondecreasing")
+    return t, v
+
+
+def time_weighted_mean(times: Sequence[float], values: Sequence[float]) -> float:
+    """Mean of a piecewise-constant signal sampled at irregular times.
+
+    Each value is held until the next timestamp (zero-order hold), which
+    is exactly the semantics of "queue length at event times".
+    """
+    t, v = _as_series(times, values)
+    dt = np.diff(t)
+    total = float(np.sum(dt))
+    if total == 0.0:
+        return float(np.mean(v))
+    return float(np.sum(v[:-1] * dt) / total)
+
+
+def time_weighted_std(times: Sequence[float], values: Sequence[float]) -> float:
+    """Standard deviation under the same zero-order-hold weighting."""
+    t, v = _as_series(times, values)
+    dt = np.diff(t)
+    total = float(np.sum(dt))
+    if total == 0.0:
+        return float(np.std(v))
+    m = float(np.sum(v[:-1] * dt) / total)
+    var = float(np.sum((v[:-1] - m) ** 2 * dt) / total)
+    return math.sqrt(max(var, 0.0))
+
+
+def dominant_frequency(values: Sequence[float], sample_interval: float) -> float:
+    """Angular frequency (rad/s) of the strongest non-DC spectral line."""
+    v = np.asarray(values, dtype=float)
+    if v.size < 16:
+        raise ValueError("need at least 16 samples for spectral analysis")
+    if sample_interval <= 0:
+        raise ValueError(f"sample_interval must be positive, got {sample_interval}")
+    centred = (v - np.mean(v)) * np.hanning(v.size)
+    spectrum = np.abs(np.fft.rfft(centred))
+    freqs = np.fft.rfftfreq(v.size, d=sample_interval)
+    peak = int(np.argmax(spectrum[1:])) + 1
+    return float(2.0 * math.pi * freqs[peak])
+
+
+def autocorrelation(values: Sequence[float], max_lag: int) -> np.ndarray:
+    """Normalised autocorrelation for lags ``0..max_lag``."""
+    v = np.asarray(values, dtype=float)
+    if max_lag < 0 or max_lag >= v.size:
+        raise ValueError(f"max_lag must lie in [0, {v.size - 1}], got {max_lag}")
+    centred = v - np.mean(v)
+    denom = float(np.dot(centred, centred))
+    if denom == 0.0:
+        return np.ones(max_lag + 1)
+    return np.array(
+        [
+            float(np.dot(centred[: v.size - lag], centred[lag:])) / denom
+            for lag in range(max_lag + 1)
+        ]
+    )
+
+
+def crossings(values: Sequence[float], level: float) -> Tuple[int, int]:
+    """``(upward, downward)`` crossing counts of ``level``.
+
+    A cheap oscillation detector: a queue pinned near its setpoint
+    crosses it constantly; a diverged queue never does.
+    """
+    v = np.asarray(values, dtype=float)
+    if v.size < 2:
+        return 0, 0
+    above = v >= level
+    changes = np.diff(above.astype(int))
+    return int(np.sum(changes == 1)), int(np.sum(changes == -1))

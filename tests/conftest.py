@@ -1,0 +1,33 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.core.parameters import (
+    DoubleThresholdParams,
+    SingleThresholdParams,
+    paper_network,
+)
+
+
+@pytest.fixture
+def net10():
+    """The paper's plant at N = 10 flows."""
+    return paper_network(10)
+
+
+@pytest.fixture
+def net30():
+    """The paper's plant at N = 30 flows (valid operating point)."""
+    return paper_network(30)
+
+
+@pytest.fixture
+def dctcp_params():
+    """K = 40 packets."""
+    return SingleThresholdParams(k=40.0)
+
+
+@pytest.fixture
+def dt_params():
+    """K1 = 30, K2 = 50 packets."""
+    return DoubleThresholdParams(k1=30.0, k2=50.0)

@@ -1,0 +1,92 @@
+"""Tests for the sawtooth steady-state model (SIGCOMM'10 closed forms)."""
+
+import math
+
+import pytest
+
+from repro.core.parameters import SingleThresholdParams, paper_network
+from repro.core.sawtooth import predict
+
+DC = SingleThresholdParams(k=40.0)
+
+
+class TestClosedForms:
+    def test_critical_window(self):
+        net = paper_network(10)
+        pred = predict(net, DC)
+        assert pred.critical_window == pytest.approx(
+            (net.capacity * net.rtt + 40.0) / 10
+        )
+
+    def test_alpha_small_signal_form(self):
+        net = paper_network(10)
+        pred = predict(net, DC)
+        assert pred.alpha == pytest.approx(
+            math.sqrt(2.0 / pred.critical_window)
+        )
+
+    def test_amplitude_scales_like_sqrt_n(self):
+        """The analytic backbone of Figure 11's growth."""
+        a10 = predict(paper_network(10), DC).amplitude
+        a40 = predict(paper_network(40), DC).amplitude
+        assert a40 / a10 == pytest.approx(2.0, rel=0.15)
+
+    def test_amplitude_closed_form(self):
+        net = paper_network(10)
+        pred = predict(net, DC)
+        expected = math.sqrt(10 * (net.capacity * net.rtt + 40.0) / 2.0)
+        assert pred.amplitude == pytest.approx(expected)
+
+    def test_queue_extremes_consistent(self):
+        pred = predict(paper_network(10), DC)
+        assert pred.queue_max > DC.k
+        assert pred.queue_min >= 0.0
+        assert pred.queue_max - pred.queue_min <= pred.amplitude + 1e-9
+
+    def test_underflow_flag(self):
+        """A too-shallow K drains the queue empty each cycle - the
+        failure mode that sets DCTCP's K >= 0.17*BDP guideline and that
+        the paper's early-stop threshold targets."""
+        shallow = SingleThresholdParams(k=3.0)
+        pred = predict(paper_network(1), shallow)
+        assert pred.underflows
+        assert pred.queue_min == 0.0
+        # The paper's generous K = 40 on this pipe never underflows.
+        assert not predict(paper_network(10), DC).underflows
+
+    def test_period_positive_few_rtts(self):
+        net = paper_network(10)
+        pred = predict(net, DC)
+        assert 1.0 < pred.period / net.rtt < 50.0
+
+    def test_validity_domain(self):
+        with pytest.raises(ValueError):
+            predict(paper_network(100), DC)
+
+    def test_std_estimate_is_triangle_wave_std(self):
+        pred = predict(paper_network(10), DC)
+        assert pred.oscillation_std_estimate == pytest.approx(
+            pred.amplitude / (2 * math.sqrt(3))
+        )
+
+
+class TestAgainstSimulation:
+    def test_amplitude_upper_bounds_packet_sim(self):
+        """Synchronized analysis is an envelope: the (partly
+        desynchronized) packet simulation oscillates no harder."""
+        from repro.core.marking import SingleThresholdMarker
+        from repro.sim.apps.bulk import launch_bulk_flows
+        from repro.sim.topology import dumbbell
+        from repro.sim.trace import QueueMonitor
+
+        net = paper_network(10)
+        pred = predict(net, DC)
+        nw = dumbbell(10, lambda: SingleThresholdMarker.from_threshold(40))
+        launch_bulk_flows(nw)
+        mon = QueueMonitor(nw.sim, nw.bottleneck_queue, interval=10e-6)
+        mon.start()
+        nw.sim.run(until=0.02)
+        queue = mon.series(after=0.008)
+        measured_swing = queue.max() - queue.min()
+        assert measured_swing <= pred.amplitude * 1.5
+        assert queue.std() <= pred.oscillation_std_estimate * 2.0

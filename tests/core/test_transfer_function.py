@@ -1,0 +1,129 @@
+"""Unit tests for the linearised plant (Eq. 13-18)."""
+
+import numpy as np
+import pytest
+
+from repro.core.parameters import paper_network
+from repro.core.transfer_function import (
+    dc_gain,
+    open_loop,
+    p_alpha,
+    p_dctcp,
+    p_queue,
+    plant,
+    plant_poles,
+    plant_rational_coefficients,
+    plant_zero,
+)
+
+
+@pytest.fixture
+def net():
+    return paper_network(30)
+
+
+class TestBlocks:
+    def test_p_alpha_is_unity_dc_first_order_lag(self, net):
+        assert complex(p_alpha(0.0, net)) == pytest.approx(1.0 + 0j)
+        pole = net.g / net.rtt
+        # Half-power at the pole frequency.
+        assert abs(complex(p_alpha(1j * pole, net))) == pytest.approx(
+            1.0 / np.sqrt(2.0)
+        )
+
+    def test_p_queue_dc_gain(self, net):
+        # N/R0 / (1/R0) = N.
+        assert complex(p_queue(0.0, net)) == pytest.approx(net.n_flows + 0j)
+
+    def test_p_dctcp_negative_dc_gain(self, net):
+        # More marking -> smaller window: strictly negative real gain.
+        value = complex(p_dctcp(0.0, net))
+        assert value.real < 0.0
+        assert value.imag == pytest.approx(0.0)
+
+    def test_p_dctcp_matches_eq15(self, net):
+        s = 1j * 3000.0
+        g_over_r = net.g / net.rtt
+        gain = np.sqrt(net.capacity / (2 * net.n_flows * net.rtt))
+        expected = (
+            -gain
+            * (1.0 + (s + g_over_r) / g_over_r)
+            / (s + net.n_flows / (net.rtt**2 * net.capacity))
+        )
+        assert complex(p_dctcp(s, net)) == pytest.approx(expected)
+
+
+class TestPlant:
+    def test_plant_is_minus_product_of_blocks(self, net):
+        s = 1j * 5000.0
+        expected = -complex(p_alpha(s, net)) * complex(
+            p_dctcp(s, net)
+        ) * complex(p_queue(s, net))
+        assert complex(plant(s, net)) == pytest.approx(expected)
+
+    def test_dc_gain_closed_form(self, net):
+        assert complex(plant(0.0, net)).real == pytest.approx(dc_gain(net))
+
+    def test_positive_dc_gain(self, net):
+        assert dc_gain(net) > 0.0
+
+    def test_poles_match_eq17_denominator(self, net):
+        p1, p2, p3 = plant_poles(net)
+        assert p1 == pytest.approx(net.g / net.rtt)
+        assert p2 == pytest.approx(net.n_flows / (net.rtt**2 * net.capacity))
+        assert p3 == pytest.approx(1.0 / net.rtt)
+
+    def test_all_poles_stable(self, net):
+        assert all(p > 0 for p in plant_poles(net))
+
+    def test_zero_matches_eq17_numerator(self, net):
+        assert plant_zero(net) == pytest.approx(2.0 * net.g / net.rtt)
+
+    def test_rational_form_agrees_with_direct_evaluation(self, net):
+        num, den = plant_rational_coefficients(net)
+        for w in (100.0, 5e3, 1e5):
+            s = 1j * w
+            rational = np.polyval(num, s) / np.polyval(den, s)
+            assert rational == pytest.approx(complex(plant(s, net)), rel=1e-9)
+
+    def test_vectorized_evaluation(self, net):
+        w = np.array([1e2, 1e3, 1e4])
+        values = plant(1j * w, net)
+        assert values.shape == (3,)
+        assert complex(values[1]) == pytest.approx(complex(plant(1j * 1e3, net)))
+
+
+class TestOpenLoop:
+    def test_delay_factor(self, net):
+        w = 5000.0
+        expected = complex(plant(1j * w, net)) * np.exp(-1j * w * net.rtt)
+        assert complex(open_loop(w, net)) == pytest.approx(expected)
+
+    def test_magnitude_unchanged_by_delay(self, net):
+        w = np.geomspace(1e2, 1e5, 50)
+        assert np.allclose(np.abs(open_loop(w, net)), np.abs(plant(1j * w, net)))
+
+    def test_phase_decreases_monotonically_at_high_frequency(self, net):
+        # The e^{-jwR0} delay dominates: phase winds down forever.
+        w = np.geomspace(1e4, 1e7, 2000)
+        phase = np.unwrap(np.angle(open_loop(w, net)))
+        assert phase[-1] < phase[0] - 4 * np.pi
+
+    def test_gain_rolls_off(self, net):
+        assert abs(complex(open_loop(1e7, net))) < abs(
+            complex(open_loop(1e3, net))
+        )
+
+    def test_locus_shifts_with_n(self):
+        """More flows -> deeper real-axis excursion (up to N ~ 55): the
+        paper's 'K0 G(jw) shifts to the left as N increases'."""
+        def deepest_excursion(n):
+            net = paper_network(n)
+            w = np.geomspace(1e3, 1e6, 20000)
+            vals = open_loop(w, net) / 40.0
+            phase = np.unwrap(np.angle(vals))
+            idx = int(np.argmin(np.abs(phase + np.pi)))
+            return abs(vals[idx])
+
+        d10, d30, d55 = (deepest_excursion(n) for n in (10, 30, 55))
+        assert d10 < d30 < d55

@@ -1,0 +1,66 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import FIGURES, build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_analyze_defaults(self):
+        args = build_parser().parse_args(["analyze"])
+        assert args.flows == 55
+        assert args.protocol == "dctcp"
+
+    def test_protocol_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["analyze", "--protocol", "cubic"])
+
+    def test_every_eval_figure_mapped(self):
+        for fig in ("1", "2", "4", "6", "7", "8", "9", "10", "11", "12",
+                    "13", "14", "15"):
+            assert fig in FIGURES
+
+
+class TestCommands:
+    def test_analyze_runs(self, capsys):
+        assert main(["analyze", "--flows", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "stability margin" in out
+
+    def test_analyze_dt_protocol(self, capsys):
+        assert main(["analyze", "--flows", "30", "--protocol",
+                     "dt-dctcp"]) == 0
+        assert "dt-dctcp" in capsys.readouterr().out
+
+    def test_analyze_custom_gain(self, capsys):
+        assert main(["analyze", "--flows", "60", "--gain-scale", "7.0"]) == 0
+        out = capsys.readouterr().out
+        assert "oscillation predicted" in out
+
+    def test_simulate_runs(self, capsys):
+        assert main([
+            "simulate", "--flows", "4", "--duration", "0.005",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "goodput (Gbps)" in out
+
+    def test_incast_runs(self, capsys):
+        assert main(["incast", "--flows", "8", "--queries", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "goodput (Mbps)" in out
+
+    def test_figure_13_runs(self, capsys):
+        assert main(["figure", "13"]) == 0
+        assert "testbed topology" in capsys.readouterr().out
+
+    def test_figure_2_runs(self, capsys):
+        assert main(["figure", "2"]) == 0
+        assert "marking strategies" in capsys.readouterr().out
+
+    def test_unknown_figure_rejected(self, capsys):
+        assert main(["figure", "99"]) == 2
+        assert "unknown figure" in capsys.readouterr().err

@@ -1,0 +1,95 @@
+"""Tests for experiment configuration and protocol presets."""
+
+import pytest
+
+from repro.core.marking import (
+    DoubleThresholdMarker,
+    REDMarker,
+    SingleThresholdMarker,
+)
+from repro.experiments.config import Scale, full_scale, quick_scale
+from repro.experiments.protocols import (
+    SIM_DEADBAND,
+    TESTBED_DEADBAND,
+    dctcp_sim,
+    dctcp_testbed,
+    dt_dctcp_sim,
+    dt_dctcp_testbed,
+    ecn_red_baseline,
+)
+from repro.sim.tcp.sender import DctcpSender, EcnRenoSender
+
+
+class TestScale:
+    def test_full_scale_paper_shape(self):
+        scale = full_scale()
+        assert scale.flow_counts == tuple(range(10, 101, 5))  # Fig 10-12
+        assert scale.warmup < scale.sim_duration
+
+    def test_quick_scale_is_smaller(self):
+        quick, full = quick_scale(), full_scale()
+        assert quick.sim_duration < full.sim_duration
+        assert len(quick.flow_counts) < len(full.flow_counts)
+        assert quick.n_queries <= full.n_queries
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Scale(
+                sim_duration=0.01,
+                warmup=0.02,  # longer than the run
+                sample_interval=1e-5,
+                flow_counts=(10,),
+                n_queries=1,
+                incast_flows=(8,),
+                completion_flows=(8,),
+                fluid_duration=0.01,
+            )
+        with pytest.raises(ValueError):
+            Scale(
+                sim_duration=0.01,
+                warmup=0.001,
+                sample_interval=1e-5,
+                flow_counts=(10,),
+                n_queries=0,
+                incast_flows=(8,),
+                completion_flows=(8,),
+                fluid_duration=0.01,
+            )
+
+
+class TestProtocolPresets:
+    def test_sim_thresholds(self):
+        dc = dctcp_sim()
+        marker = dc.marker_factory()
+        assert isinstance(marker, SingleThresholdMarker)
+        assert marker.params.k == 40.0
+        assert dc.sender_cls is DctcpSender
+
+        dt = dt_dctcp_sim()
+        marker = dt.marker_factory()
+        assert isinstance(marker, DoubleThresholdMarker)
+        assert (marker.params.k1, marker.params.k2) == (30.0, 50.0)
+        assert marker.deadband == SIM_DEADBAND
+
+    def test_testbed_thresholds_in_packets(self):
+        dc_marker = dctcp_testbed().marker_factory()
+        assert dc_marker.params.k == pytest.approx(32 * 1024 / 1500)
+        dt_marker = dt_dctcp_testbed().marker_factory()
+        assert dt_marker.params.k1 == pytest.approx(28 * 1024 / 1500)
+        assert dt_marker.params.k2 == pytest.approx(34 * 1024 / 1500)
+        # The deadband must sit well inside the ~4-packet gap.
+        assert dt_marker.deadband == TESTBED_DEADBAND
+        assert dt_marker.deadband < dt_marker.params.gap / 2
+
+    def test_marker_factories_return_fresh_state(self):
+        dt = dt_dctcp_sim()
+        a, b = dt.marker_factory(), dt.marker_factory()
+        a.should_mark(60.0)
+        assert a.marking
+        assert not b.marking  # independent instances
+
+    def test_red_baseline(self):
+        red = ecn_red_baseline()
+        marker = red.marker_factory()
+        assert isinstance(marker, REDMarker)
+        assert red.sender_cls is EcnRenoSender

@@ -1,0 +1,63 @@
+"""Tests for CSV/JSON export."""
+
+import csv
+import json
+
+import pytest
+
+from repro.experiments.export import export_sweep, write_csv, write_json
+from repro.experiments.queue_sweep import SweepPoint
+
+
+def make_point(protocol="DCTCP", n=10, **kw):
+    defaults = dict(
+        protocol=protocol,
+        n_flows=n,
+        mean_queue=38.0,
+        std_queue=6.0,
+        mean_alpha=0.4,
+        goodput_bps=9.9e9,
+        timeouts=0,
+        marks=100,
+        drops=0,
+    )
+    defaults.update(kw)
+    return SweepPoint(**defaults)
+
+
+class TestWriteCsv:
+    def test_round_trip(self, tmp_path):
+        path = write_csv(tmp_path / "t.csv", ["a", "b"], [(1, 2), (3, 4)])
+        with open(path) as handle:
+            rows = list(csv.reader(handle))
+        assert rows == [["a", "b"], ["1", "2"], ["3", "4"]]
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = write_csv(tmp_path / "deep" / "dir" / "t.csv", ["a"], [(1,)])
+        assert path.exists()
+
+    def test_arity_mismatch_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_csv(tmp_path / "t.csv", ["a", "b"], [(1,)])
+
+
+class TestWriteJson:
+    def test_round_trip(self, tmp_path):
+        payload = {"x": [1, 2], "y": "z"}
+        path = write_json(tmp_path / "t.json", payload)
+        with open(path) as handle:
+            assert json.load(handle) == payload
+
+
+class TestExportSweep:
+    def test_long_format(self, tmp_path):
+        points = {
+            "DCTCP": [make_point(n=10), make_point(n=20)],
+            "DT-DCTCP": [make_point("DT-DCTCP", 10)],
+        }
+        path = export_sweep(tmp_path / "sweep.csv", points)
+        with open(path) as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 3
+        assert {r["protocol"] for r in rows} == {"DCTCP", "DT-DCTCP"}
+        assert rows[0]["mean_queue"] == "38.0"

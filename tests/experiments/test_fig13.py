@@ -1,0 +1,30 @@
+"""Tests for the Figure 13 topology verification module."""
+
+import pytest
+
+from repro.experiments.fig13_topology import run
+
+
+class TestFigure13:
+    @pytest.fixture(scope="class")
+    def summary(self):
+        return run()
+
+    def test_switch_and_host_counts(self, summary):
+        assert summary.n_switches == 4
+        assert summary.n_hosts == 10
+
+    def test_buffer_sizes(self, summary):
+        assert summary.bottleneck_buffer_bytes == 128 * 1024
+        assert summary.leaf_buffer_bytes == 512 * 1024
+
+    def test_link_rate(self, summary):
+        assert summary.link_rate_bps == pytest.approx(1e9)
+
+    def test_link_count(self, summary):
+        # 1 aggregator + 3 core-leaf + 9 leaf-worker = 13 links.
+        assert len(summary.links) == 13
+
+    def test_intra_leaf_rtt_near_paper(self, summary):
+        # ~100 us propagation + serialisation of the ping-pong packets.
+        assert 90e-6 < summary.intra_leaf_rtt < 150e-6

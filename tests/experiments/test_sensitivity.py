@@ -1,0 +1,57 @@
+"""Tests for the (g, gap) sensitivity grid."""
+
+import pytest
+
+from repro.experiments.sensitivity import run
+
+
+class TestSensitivityGrid:
+    @pytest.fixture(scope="class")
+    def grid(self):
+        return run(gains=(1 / 32, 1 / 16, 1 / 8), gaps=(0.0, 10.0, 20.0))
+
+    def test_margin_monotone_in_gap_at_every_g(self, grid):
+        """The core design claim: wider hysteresis, larger margin."""
+        for g in grid.gains:
+            assert grid.margin_monotone_in_gap(g)
+
+    def test_gap_zero_is_dctcp(self, grid):
+        # At the paper's g the calibrated DCTCP margin is ~0 near N=55.
+        assert grid.margins[(1 / 16, 0.0)] == pytest.approx(0.0, abs=1e-3)
+
+    def test_paper_design_point_has_real_margin(self, grid):
+        assert grid.margins[(1 / 16, 20.0)] > 0.3
+
+    def test_larger_g_needs_wider_gap(self, grid):
+        """At a fixed moderate gap, increasing g erodes the margin."""
+        assert (
+            grid.margins[(1 / 8, 10.0)] < grid.margins[(1 / 32, 10.0)]
+        )
+
+
+class TestSparkline:
+    def test_basic_rendering(self):
+        from repro.experiments.tables import sparkline
+
+        out = sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+        assert out == "▁▂▃▄▅▆▇█"
+
+    def test_constant_series(self):
+        from repro.experiments.tables import sparkline
+
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_long_series_bucketed(self):
+        from repro.experiments.tables import sparkline
+
+        out = sparkline(list(range(1000)), width=40)
+        assert len(out) == 40
+        assert out[0] == "▁"
+        assert out[-1] == "█"
+
+    def test_empty_and_invalid(self):
+        from repro.experiments.tables import sparkline
+
+        assert sparkline([]) == ""
+        with pytest.raises(ValueError):
+            sparkline([1.0], width=0)

@@ -1,0 +1,47 @@
+"""Tests for the table renderer."""
+
+import pytest
+
+from repro.experiments.tables import format_table
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        out = format_table(["a", "bb"], [(1, 2), (3, 4)])
+        lines = out.splitlines()
+        assert lines[0].split() == ["a", "bb"]
+        assert set(lines[1]) <= {"-", " "}
+        assert lines[2].split() == ["1", "2"]
+
+    def test_title_prepended(self):
+        out = format_table(["x"], [(1,)], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_column_width_adapts(self):
+        out = format_table(["h"], [("wide-content",)])
+        assert "wide-content" in out
+
+    def test_float_formatting(self):
+        out = format_table(["v"], [(1.23456789,)])
+        assert "1.235" in out
+
+    def test_tiny_and_huge_floats_use_scientific(self):
+        out = format_table(["v"], [(1.5e-7,), (2.5e9,)])
+        assert "1.500e-07" in out
+        assert "2.500e+09" in out
+
+    def test_zero_rendered_plainly(self):
+        assert "0" in format_table(["v"], [(0.0,)])
+
+    def test_bools_rendered_as_yes_no(self):
+        out = format_table(["v"], [(True,), (False,)])
+        assert "yes" in out
+        assert "no" in out
+
+    def test_row_arity_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [(1,)])
+
+    def test_empty_rows_ok(self):
+        out = format_table(["a"], [])
+        assert "a" in out

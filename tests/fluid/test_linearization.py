@@ -1,0 +1,107 @@
+"""Linearisation tests: Eq. 10-12 against numeric Jacobians and Eq. 17."""
+
+import numpy as np
+import pytest
+
+from repro.core.parameters import paper_network
+from repro.core.transfer_function import plant
+from repro.fluid.linearization import linearize, paper_rhs, queue_response
+
+
+@pytest.fixture
+def net():
+    return paper_network(30)
+
+
+@pytest.fixture
+def model(net):
+    return linearize(net, 40.0)
+
+
+def numeric_jacobian(net, setpoint):
+    """Central differences of the mixed-convention RHS at the fixed point."""
+    op = net.operating_point(setpoint)
+    x0 = np.array([op.window, op.alpha, op.queue])
+    p0 = op.p
+
+    def f(x, p):
+        return np.array(paper_rhs(tuple(x), p, net, setpoint))
+
+    a = np.zeros((3, 3))
+    for j in range(3):
+        h = 1e-6 * max(1.0, abs(x0[j]))
+        plus, minus = x0.copy(), x0.copy()
+        plus[j] += h
+        minus[j] -= h
+        a[:, j] = (f(plus, p0) - f(minus, p0)) / (2 * h)
+    h = 1e-7
+    b = (f(x0, p0 + h) - f(x0, p0 - h)) / (2 * h)
+    return a, b
+
+
+class TestMatrices:
+    def test_a_matches_numeric_jacobian(self, net, model):
+        a_num, _ = numeric_jacobian(net, 40.0)
+        assert np.allclose(model.a, a_num, rtol=1e-5, atol=1e-3)
+
+    def test_b_matches_numeric_jacobian(self, net, model):
+        _, b_num = numeric_jacobian(net, 40.0)
+        assert np.allclose(model.b, b_num, rtol=1e-5)
+
+    def test_matrix_entries_match_eq10_12(self, net, model):
+        r0 = net.rtt
+        coupling = np.sqrt(net.capacity / (2 * net.n_flows * r0))
+        assert model.a[0, 0] == pytest.approx(
+            -net.n_flows / (r0**2 * net.capacity)
+        )
+        assert model.a[0, 1] == pytest.approx(-coupling)
+        assert model.a[1, 1] == pytest.approx(-net.g / r0)
+        assert model.a[2, 0] == pytest.approx(net.n_flows / r0)
+        assert model.a[2, 2] == pytest.approx(-1.0 / r0)
+        assert model.b[0] == pytest.approx(-coupling)
+        assert model.b[1] == pytest.approx(net.g / r0)
+        assert model.b[2] == 0.0
+
+    def test_plant_is_stable(self, model):
+        assert np.all(model.eigenvalues.real < 0.0)
+
+    def test_eigenvalues_are_the_plant_poles(self, net, model):
+        from repro.core.transfer_function import plant_poles
+
+        eigs = sorted(-model.eigenvalues.real)
+        poles = sorted(plant_poles(net))
+        assert np.allclose(eigs, poles, rtol=1e-9)
+
+
+class TestQueueResponse:
+    @pytest.mark.parametrize("w", [100.0, 3000.0, 50000.0])
+    def test_equals_minus_plant(self, net, model, w):
+        s = 1j * w
+        assert queue_response(s, model) == pytest.approx(
+            -complex(plant(s, net)), rel=1e-9
+        )
+
+    def test_negative_dc_gain(self, net, model):
+        # More marking drains the queue: Eq. 16's negative feedback.
+        assert queue_response(1e-9, model).real < 0.0
+
+
+class TestPaperRhs:
+    def test_rejects_impossible_setpoint(self, net):
+        # Setpoint above the BDP makes R(q0) = R0 unachievable.
+        with pytest.raises(ValueError):
+            paper_rhs((10.0, 0.5, 40.0), 0.5, net, net.bandwidth_delay_product)
+
+    def test_zero_at_operating_point(self, net):
+        op = net.operating_point(40.0)
+        rhs = paper_rhs((op.window, op.alpha, op.queue), op.p, net, 40.0)
+        assert np.allclose(np.array(rhs) * net.rtt, 0.0, atol=1e-9)
+
+    def test_queue_term_uses_variable_rtt(self, net):
+        """Eq. 12's -dq/R0 term exists only because dq/dt sees R(q)."""
+        op = net.operating_point(40.0)
+        dq = 0.01
+        base = paper_rhs((op.window, op.alpha, 40.0), op.p, net, 40.0)[2]
+        shifted = paper_rhs((op.window, op.alpha, 40.0 + dq), op.p, net, 40.0)[2]
+        # d(dq/dt)/dq ~ -1/R0.
+        assert (shifted - base) / dq == pytest.approx(-1.0 / net.rtt, rel=1e-3)

@@ -1,0 +1,187 @@
+"""Integration tests: end-to-end protocol behaviour on the dumbbell.
+
+These are the "does the reproduction behave like DCTCP" tests: queue
+regulation near K, full link utilisation, approximate fairness, alpha
+near the fluid operating point, and the DCTCP-vs-DT-DCTCP ordering.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.marking import (
+    DoubleThresholdMarker,
+    NullMarker,
+    SingleThresholdMarker,
+)
+from repro.sim.apps.bulk import launch_bulk_flows
+from repro.sim.topology import dumbbell
+from repro.sim.tcp.sender import DctcpSender, EcnRenoSender, RenoSender
+from repro.sim.trace import QueueMonitor
+
+DURATION = 0.025
+WARMUP = 0.01
+
+
+def run_dumbbell(n, marker_factory, sender_cls=DctcpSender, **kwargs):
+    nw = dumbbell(n, marker_factory, **kwargs)
+    flows = launch_bulk_flows(nw, sender_cls=sender_cls)
+    monitor = QueueMonitor(nw.sim, nw.bottleneck_queue, interval=10e-6)
+    monitor.start()
+    nw.sim.run(until=DURATION)
+    return nw, flows, monitor.series(after=WARMUP)
+
+
+class TestDctcpSteadyState:
+    def test_queue_regulated_near_threshold(self):
+        _, _, queue = run_dumbbell(
+            4, lambda: SingleThresholdMarker.from_threshold(40)
+        )
+        assert 25.0 < queue.mean() < 55.0
+
+    def test_full_utilisation(self):
+        nw, flows, _ = run_dumbbell(
+            4, lambda: SingleThresholdMarker.from_threshold(40)
+        )
+        delivered = sum(f.receiver.packets_received for f in flows)
+        goodput = delivered * 1500 * 8 / DURATION
+        assert goodput > 0.95 * 10e9
+
+    def test_no_packet_drops_with_deep_buffer(self):
+        nw, _, _ = run_dumbbell(
+            4, lambda: SingleThresholdMarker.from_threshold(40)
+        )
+        assert nw.bottleneck_queue.stats.dropped == 0
+
+    def test_approximate_fairness(self):
+        _, flows, _ = run_dumbbell(
+            4, lambda: SingleThresholdMarker.from_threshold(40)
+        )
+        shares = np.array([f.receiver.packets_received for f in flows], float)
+        jain = shares.sum() ** 2 / (len(shares) * (shares**2).sum())
+        assert jain > 0.9
+
+    def test_alpha_near_fluid_operating_point(self):
+        _, flows, _ = run_dumbbell(
+            10, lambda: SingleThresholdMarker.from_threshold(40)
+        )
+        # alpha0 = sqrt(2/W0) with W0 = R0 C / N ~ 8.3 -> ~0.49.
+        alphas = [f.sender.alpha for f in flows]
+        assert np.mean(alphas) == pytest.approx(0.49, abs=0.2)
+
+    def test_queue_oscillates_rather_than_converges(self):
+        """The paper's starting observation: the relay forces a limit
+        cycle, so the queue keeps crossing its threshold."""
+        _, _, queue = run_dumbbell(
+            10, lambda: SingleThresholdMarker.from_threshold(40)
+        )
+        crossings = np.sum(np.diff((queue >= 40).astype(int)) != 0)
+        assert crossings > 10
+
+
+class TestDtDctcpSteadyState:
+    def test_queue_regulated_between_thresholds(self):
+        _, _, queue = run_dumbbell(
+            4,
+            lambda: DoubleThresholdMarker.from_thresholds(30, 50, deadband=2),
+        )
+        assert 20.0 < queue.mean() < 55.0
+
+    def test_full_utilisation(self):
+        nw, flows, _ = run_dumbbell(
+            4,
+            lambda: DoubleThresholdMarker.from_thresholds(30, 50, deadband=2),
+        )
+        delivered = sum(f.receiver.packets_received for f in flows)
+        assert delivered * 1500 * 8 / DURATION > 0.95 * 10e9
+
+    def test_smaller_std_than_dctcp_at_n10(self):
+        """Figure 11's claim at the N=10 point (packet level)."""
+        _, _, q_dc = run_dumbbell(
+            10, lambda: SingleThresholdMarker.from_threshold(40)
+        )
+        _, _, q_dt = run_dumbbell(
+            10,
+            lambda: DoubleThresholdMarker.from_thresholds(30, 50, deadband=2),
+        )
+        assert q_dt.std() < q_dc.std()
+
+
+class TestBaselines:
+    def test_reno_queue_excursions_dwarf_dctcp(self):
+        """Loss-based TCP has no ECN brake: its queue repeatedly climbs
+        to a large fraction of the buffer and drops packets, while DCTCP
+        pins the queue near K without loss - the paper's motivation."""
+        nw_reno, _, q_reno = run_dumbbell(
+            4, lambda: NullMarker(), sender_cls=RenoSender,
+            bottleneck_buffer_bytes=1.0 * 1024 * 1024,
+        )
+        nw_dctcp, _, q_dctcp = run_dumbbell(
+            4, lambda: SingleThresholdMarker.from_threshold(40)
+        )
+        assert q_reno.max() > 3 * q_dctcp.max()
+        assert q_reno.mean() > q_dctcp.mean()
+        assert nw_reno.bottleneck_queue.stats.dropped > 0
+        assert nw_dctcp.bottleneck_queue.stats.dropped == 0
+
+    def test_ecn_reno_underutilises_at_low_threshold(self):
+        """RFC 3168 halving at a shallow ECN threshold costs throughput;
+        DCTCP's proportional cut keeps the link full - the core DCTCP
+        value proposition the paper builds on."""
+        nw_r, flows_r, _ = run_dumbbell(
+            2, lambda: SingleThresholdMarker.from_threshold(40),
+            sender_cls=EcnRenoSender,
+        )
+        nw_d, flows_d, _ = run_dumbbell(
+            2, lambda: SingleThresholdMarker.from_threshold(40),
+            sender_cls=DctcpSender,
+        )
+        goodput_r = sum(f.receiver.packets_received for f in flows_r)
+        goodput_d = sum(f.receiver.packets_received for f in flows_d)
+        assert goodput_d > goodput_r
+
+
+class TestDelayedAcks:
+    def test_transfer_completes_with_delack2(self):
+        nw = dumbbell(2, lambda: SingleThresholdMarker.from_threshold(40))
+        flows = launch_bulk_flows(nw, delayed_ack_factor=2)
+        nw.sim.run(until=0.01)
+        assert all(f.receiver.packets_received > 100 for f in flows)
+        # Roughly half as many ACKs as packets.
+        for f in flows:
+            ratio = f.receiver.acks_sent / f.receiver.packets_received
+            assert ratio < 0.75
+
+    def test_queue_still_regulated_with_delack2(self):
+        nw = dumbbell(4, lambda: SingleThresholdMarker.from_threshold(40))
+        launch_bulk_flows(nw, delayed_ack_factor=2)
+        monitor = QueueMonitor(nw.sim, nw.bottleneck_queue, interval=10e-6)
+        monitor.start()
+        nw.sim.run(until=DURATION)
+        queue = monitor.series(after=WARMUP)
+        assert 20.0 < queue.mean() < 70.0
+
+
+class TestScaling:
+    def test_oscillation_grows_with_flow_count(self):
+        """Figure 1's observation, end to end (within the ECN-controlled
+        regime; the N = 100 min-window regime needs longer horizons and
+        is exercised by the Figure 1 experiment itself)."""
+        _, _, q_small = run_dumbbell(
+            10, lambda: SingleThresholdMarker.from_threshold(40)
+        )
+        _, _, q_large = run_dumbbell(
+            40, lambda: SingleThresholdMarker.from_threshold(40)
+        )
+        assert q_large.std() > 1.5 * q_small.std()
+
+    def test_determinism_across_runs(self):
+        _, flows_a, q_a = run_dumbbell(
+            3, lambda: SingleThresholdMarker.from_threshold(40)
+        )
+        _, flows_b, q_b = run_dumbbell(
+            3, lambda: SingleThresholdMarker.from_threshold(40)
+        )
+        assert np.array_equal(q_a, q_b)
+        assert [f.sender.packets_sent for f in flows_a] == [
+            f.sender.packets_sent for f in flows_b
+        ]

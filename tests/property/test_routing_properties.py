@@ -1,0 +1,117 @@
+"""Property-based tests for routing over random tree topologies.
+
+Any host must be able to reach any other host across an arbitrary tree
+of switches — the structural guarantee both paper topologies (a star
+and a two-level tree) rely on.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.packet import Packet
+from repro.sim.queues import FifoQueue
+from repro.sim.topology import Network
+
+
+class Recorder:
+    def __init__(self):
+        self.packets = []
+
+    def on_packet(self, packet):
+        self.packets.append(packet)
+
+
+@st.composite
+def random_trees(draw):
+    """A random tree: switches form the spine, hosts hang off switches."""
+    n_switches = draw(st.integers(min_value=1, max_value=6))
+    n_hosts = draw(st.integers(min_value=2, max_value=8))
+    # parent[i] < i makes an arbitrary switch tree.
+    switch_parents = [
+        draw(st.integers(min_value=0, max_value=i - 1)) if i > 0 else None
+        for i in range(n_switches)
+    ]
+    host_attach = [
+        draw(st.integers(min_value=0, max_value=n_switches - 1))
+        for _ in range(n_hosts)
+    ]
+    return switch_parents, host_attach
+
+
+def build(switch_parents, host_attach):
+    net = Network()
+    switches = []
+    for i, parent in enumerate(switch_parents):
+        switch = net.add_switch(f"s{i}")
+        switches.append(switch)
+        if parent is not None:
+            net.connect(
+                switch, switches[parent], 1e9, 1e-6,
+                FifoQueue(1e7), FifoQueue(1e7),
+            )
+    hosts = []
+    for i, attach in enumerate(host_attach):
+        host = net.add_host(f"h{i}")
+        hosts.append(host)
+        net.connect(
+            host, switches[attach], 1e9, 1e-6, FifoQueue(1e7), FifoQueue(1e7)
+        )
+    net.finalize_routes()
+    return net, switches, hosts
+
+
+class TestRandomTreeRouting:
+    @given(tree=random_trees())
+    @settings(max_examples=40, deadline=None)
+    def test_all_pairs_reachable(self, tree):
+        net, _, hosts = build(*tree)
+        receivers = {}
+        flow_id = 1
+        sent = 0
+        for src in hosts:
+            for dst in hosts:
+                if src is dst:
+                    continue
+                rec = Recorder()
+                dst.register_endpoint(flow_id, rec)
+                receivers[flow_id] = (rec, dst)
+                src.send(
+                    Packet(flow_id=flow_id, src=src.node_id,
+                           dst=dst.node_id, seq=0, size_bytes=100)
+                )
+                sent += 1
+                flow_id += 1
+        net.sim.run()
+        delivered = sum(
+            len(rec.packets) for rec, _ in receivers.values()
+        )
+        assert delivered == sent
+
+    @given(tree=random_trees())
+    @settings(max_examples=25, deadline=None)
+    def test_no_switch_reports_unroutable(self, tree):
+        net, switches, hosts = build(*tree)
+        rec = Recorder()
+        hosts[-1].register_endpoint(5, rec)
+        hosts[0].send(
+            Packet(flow_id=5, src=hosts[0].node_id,
+                   dst=hosts[-1].node_id, seq=0, size_bytes=100)
+        )
+        net.sim.run()
+        assert all(s.packets_unroutable == 0 for s in switches)
+
+    @given(tree=random_trees())
+    @settings(max_examples=25, deadline=None)
+    def test_forwarding_is_loop_free(self, tree):
+        """On a tree, a packet crosses each switch at most once: total
+        forwarding events are bounded by the switch count."""
+        net, switches, hosts = build(*tree)
+        rec = Recorder()
+        hosts[-1].register_endpoint(7, rec)
+        hosts[0].send(
+            Packet(flow_id=7, src=hosts[0].node_id,
+                   dst=hosts[-1].node_id, seq=0, size_bytes=100)
+        )
+        net.sim.run()
+        total_forwards = sum(s.packets_forwarded for s in switches)
+        assert total_forwards <= len(switches)

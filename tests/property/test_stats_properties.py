@@ -1,0 +1,113 @@
+"""Property-based tests for the statistics layer."""
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.stats.summary import (
+    mean,
+    oscillation_amplitude,
+    percentile,
+    relative_to_baseline,
+    std,
+    tail_latency,
+)
+from repro.stats.timeseries import time_weighted_mean, time_weighted_std
+
+samples = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+    min_size=1,
+    max_size=200,
+)
+
+
+class TestSummaryProperties:
+    @given(values=samples)
+    def test_mean_within_bounds(self, values):
+        assert min(values) - 1e-9 <= mean(values) <= max(values) + 1e-9
+
+    @given(values=samples)
+    def test_std_nonnegative(self, values):
+        assert std(values) >= 0.0
+
+    @given(values=samples, shift=st.floats(min_value=-1e5, max_value=1e5))
+    def test_std_shift_invariant(self, values, shift):
+        shifted = [v + shift for v in values]
+        assert abs(std(values) - std(shifted)) < 1e-6 * max(1.0, std(values))
+
+    @given(values=samples, q=st.floats(min_value=0, max_value=100))
+    def test_percentile_within_bounds(self, values, q):
+        p = percentile(values, q)
+        assert min(values) <= p <= max(values)
+
+    @given(values=samples)
+    def test_percentile_monotone_in_q(self, values):
+        ps = [percentile(values, q) for q in (5, 25, 50, 75, 95)]
+        assert ps == sorted(ps)
+
+    @given(values=samples)
+    def test_tail_latency_ordered(self, values):
+        p50, p95, p99 = tail_latency(values)
+        assert p50 <= p95 <= p99
+
+    @given(values=samples)
+    def test_amplitude_at_most_half_range(self, values):
+        amp = oscillation_amplitude(values)
+        assert 0.0 <= amp <= (max(values) - min(values)) / 2.0 + 1e-9
+
+    @given(values=samples, base=st.floats(min_value=0.1, max_value=1e5))
+    def test_relative_round_trip(self, values, base):
+        rel = relative_to_baseline(values, base)
+        assert np.allclose(rel * base, values, rtol=1e-9, atol=1e-6)
+
+
+@st.composite
+def irregular_series(draw):
+    n = draw(st.integers(min_value=2, max_value=60))
+    gaps = draw(
+        st.lists(
+            st.floats(min_value=1e-6, max_value=100.0),
+            min_size=n - 1,
+            max_size=n - 1,
+        )
+    )
+    times = [0.0]
+    for g in gaps:
+        times.append(times[-1] + g)
+    values = draw(
+        st.lists(
+            st.floats(min_value=-1e4, max_value=1e4, allow_nan=False),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    return times, values
+
+
+class TestTimeWeightedProperties:
+    @given(series=irregular_series())
+    def test_mean_within_bounds(self, series):
+        times, values = series
+        m = time_weighted_mean(times, values)
+        assert min(values) - 1e-9 <= m <= max(values) + 1e-9
+
+    @given(series=irregular_series())
+    def test_std_nonnegative(self, series):
+        times, values = series
+        assert time_weighted_std(times, values) >= 0.0
+
+    @given(series=irregular_series(), c=st.floats(min_value=-100, max_value=100))
+    def test_mean_affine_equivariance(self, series, c):
+        times, values = series
+        base = time_weighted_mean(times, values)
+        shifted = time_weighted_mean(times, [v + c for v in values])
+        assert shifted == np.float64(base) + np.float64(c) or abs(
+            shifted - (base + c)
+        ) < 1e-6 * max(1.0, abs(base + c))
+
+    @given(series=irregular_series())
+    def test_constant_signal_zero_std(self, series):
+        times, _ = series
+        values = [7.5] * len(times)
+        assert time_weighted_std(times, values) < 1e-9
+        assert abs(time_weighted_mean(times, values) - 7.5) < 1e-9

@@ -1,0 +1,151 @@
+"""Tests for the shared-memory buffer pool and pooled queues."""
+
+import pytest
+
+from repro.sim.buffer_pool import SharedBufferPool
+from repro.sim.packet import Packet
+from repro.sim.queues import FifoQueue
+
+
+def pkt(size=1500, seq=0):
+    return Packet(flow_id=1, src=0, dst=1, seq=seq, size_bytes=size)
+
+
+class TestPoolAccounting:
+    def test_initial_state(self):
+        pool = SharedBufferPool(10_000)
+        assert pool.free_bytes == 10_000
+        assert pool.used_bytes == 0
+
+    def test_admit_and_release(self):
+        pool = SharedBufferPool(3000)
+        assert pool.admit(0, 1500)
+        assert pool.used_bytes == 1500
+        pool.release(1500)
+        assert pool.used_bytes == 0
+
+    def test_rejects_when_full(self):
+        pool = SharedBufferPool(2000)
+        assert pool.admit(0, 1500)
+        assert not pool.admit(0, 1500)
+        assert pool.rejections == 1
+
+    def test_release_after_reject_keeps_balance(self):
+        pool = SharedBufferPool(2000)
+        pool.admit(0, 1500)
+        pool.admit(0, 1500)  # rejected
+        pool.release(1500)
+        assert pool.used_bytes == 0
+
+    def test_over_release_detected(self):
+        pool = SharedBufferPool(2000)
+        pool.admit(0, 1000)
+        pool.release(1000)
+        with pytest.raises(RuntimeError):
+            pool.release(1000)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"total_bytes": 0},
+        {"total_bytes": 1000, "dynamic_alpha": 0.0},
+    ])
+    def test_invalid_construction(self, kwargs):
+        with pytest.raises(ValueError):
+            SharedBufferPool(**kwargs)
+
+    def test_invalid_sizes_rejected(self):
+        pool = SharedBufferPool(1000)
+        with pytest.raises(ValueError):
+            pool.admit(0, 0)
+        with pytest.raises(ValueError):
+            pool.release(0)
+
+
+class TestDynamicThreshold:
+    def test_port_limit_tracks_free_space(self):
+        pool = SharedBufferPool(10_000, dynamic_alpha=1.0)
+        assert pool.port_limit() == 10_000
+        pool.admit(0, 4000)
+        assert pool.port_limit() == 6000
+
+    def test_hot_port_capped(self):
+        """A single port cannot take the whole pool under alpha < inf."""
+        pool = SharedBufferPool(10_000, dynamic_alpha=1.0)
+        occupancy = 0
+        while pool.admit(occupancy, 1000):
+            occupancy += 1000
+        # Fixed point: occupancy = alpha * (total - occupancy) -> half.
+        assert occupancy == 5000
+
+    def test_no_threshold_without_alpha(self):
+        pool = SharedBufferPool(10_000)
+        occupancy = 0
+        while pool.admit(occupancy, 1000):
+            occupancy += 1000
+        assert occupancy == 10_000
+
+
+class TestPooledQueues:
+    def test_two_queues_share_pool(self):
+        pool = SharedBufferPool(3000)
+        qa = FifoQueue(100_000, pool=pool, name="a")
+        qb = FifoQueue(100_000, pool=pool, name="b")
+        assert qa.enqueue(pkt())
+        assert qb.enqueue(pkt())
+        # Pool exhausted: either queue's next packet drops.
+        assert not qa.enqueue(pkt())
+        assert qa.stats.dropped == 1
+
+    def test_dequeue_frees_pool_for_other_port(self):
+        pool = SharedBufferPool(1500)
+        qa = FifoQueue(100_000, pool=pool, name="a")
+        qb = FifoQueue(100_000, pool=pool, name="b")
+        qa.enqueue(pkt())
+        assert not qb.enqueue(pkt())
+        qa.dequeue()
+        assert qb.enqueue(pkt())
+
+    def test_reset_releases_pool_bytes(self):
+        pool = SharedBufferPool(1500)
+        qa = FifoQueue(100_000, pool=pool)
+        qa.enqueue(pkt())
+        qa.reset()
+        assert pool.used_bytes == 0
+
+    def test_per_port_cap_still_applies(self):
+        pool = SharedBufferPool(100_000)
+        q = FifoQueue(1500, pool=pool)
+        assert q.enqueue(pkt())
+        assert not q.enqueue(pkt())
+        # The drop charged the port, not the pool.
+        assert pool.used_bytes == 1500
+
+
+class TestSimulatorStop:
+    def test_stop_halts_run_early(self):
+        from repro.sim.engine import Simulator
+
+        sim = Simulator()
+        fired = []
+
+        def tick(n):
+            fired.append(n)
+            if n == 3:
+                sim.stop()
+            sim.schedule(1.0, tick, n + 1)
+
+        sim.schedule(1.0, tick, 1)
+        sim.run(until=100.0)
+        assert fired == [1, 2, 3]
+        assert sim.now == 3.0  # did not jump to `until`
+
+    def test_run_can_resume_after_stop(self):
+        from repro.sim.engine import Simulator
+
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: (fired.append(1), sim.stop()))
+        sim.schedule(2.0, fired.append, 2)
+        sim.run(until=10.0)
+        assert fired == [1]
+        sim.run(until=10.0)
+        assert fired == [1, 2]

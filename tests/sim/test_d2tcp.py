@@ -1,0 +1,142 @@
+"""Tests for the D2TCP related-work module."""
+
+import pytest
+
+from repro.core.marking import SingleThresholdMarker
+from repro.sim.queues import FifoQueue
+from repro.sim.tcp.d2tcp import D2tcpSender
+from repro.sim.tcp.flow import open_flow
+from repro.sim.tcp.sender import DctcpSender
+from repro.sim.topology import Network, dumbbell
+
+
+def make_pair():
+    net = Network()
+    a, b = net.add_host("a"), net.add_host("b")
+    net.connect(a, b, 1e9, 25e-6, FifoQueue(10e6), FifoQueue(10e6))
+    net.finalize_routes()
+    return net, a, b
+
+
+class TestUrgency:
+    def test_no_deadline_is_neutral(self):
+        net, a, b = make_pair()
+        flow = open_flow(a, b, D2tcpSender, total_packets=100)
+        assert flow.sender.urgency() == 1.0
+
+    def test_no_rtt_sample_is_neutral(self):
+        net, a, b = make_pair()
+        flow = open_flow(a, b, D2tcpSender, total_packets=100, deadline=1.0)
+        assert flow.sender.urgency() == 1.0
+
+    def test_tight_deadline_raises_urgency(self):
+        net, a, b = make_pair()
+        flow = open_flow(a, b, D2tcpSender, total_packets=5000,
+                         deadline=0.001)
+        sender = flow.sender
+        sender.rtt.on_sample(100e-6)
+        sender.cwnd = 10.0
+        # Needs 5000/10 RTTs ~ 50 ms >> 1 ms left -> maximum urgency.
+        assert sender.urgency() == sender.d_max
+
+    def test_loose_deadline_lowers_urgency(self):
+        net, a, b = make_pair()
+        flow = open_flow(a, b, D2tcpSender, total_packets=10,
+                         deadline=10.0)
+        sender = flow.sender
+        sender.rtt.on_sample(100e-6)
+        sender.cwnd = 10.0
+        # Needs ~100 us, has 10 s -> minimum urgency.
+        assert sender.urgency() == sender.d_min
+
+    def test_passed_deadline_flags_miss(self):
+        net, a, b = make_pair()
+        flow = open_flow(a, b, D2tcpSender, total_packets=1000,
+                         deadline=-1.0)
+        sender = flow.sender
+        sender.rtt.on_sample(100e-6)
+        assert sender.urgency() == sender.d_max
+        assert sender.deadline_missed
+
+    def test_invalid_bounds_rejected(self):
+        net, a, b = make_pair()
+        with pytest.raises(ValueError):
+            open_flow(a, b, D2tcpSender, total_packets=1, d_min=0.0)
+        with pytest.raises(ValueError):
+            open_flow(a, b, D2tcpSender, total_packets=1,
+                      d_min=2.0, d_max=1.0)
+
+
+class TestGammaCorrection:
+    def cut_factor(self, urgency, alpha=0.5):
+        """Observed multiplicative cut for a synthetic ECE ack."""
+        net, a, b = make_pair()
+        flow = open_flow(a, b, D2tcpSender, total_packets=10_000)
+        sender = flow.sender
+        sender.alpha = alpha
+        sender.g = 1e-9  # freeze alpha across the synthetic update
+        sender.urgency = lambda: urgency  # pin the factor
+        sender.cwnd = 100.0
+        sender.ssthresh = 50.0
+        sender.next_seq = 10
+        sender._high_water = 10
+        from repro.sim.packet import Packet
+
+        ack = Packet(flow_id=flow.flow_id, src=b.node_id, dst=a.node_id,
+                     seq=-1, size_bytes=40, is_ack=True, ack_seq=1)
+        ack.ece = True
+        sender.on_packet(ack)
+        return sender.cwnd / 100.0
+
+    def test_neutral_urgency_matches_dctcp(self):
+        # d = 1: cut = 1 - alpha/2 = 0.75 at alpha = 0.5.
+        assert self.cut_factor(1.0) == pytest.approx(0.75, abs=0.01)
+
+    def test_near_deadline_cuts_less(self):
+        # d = 2: penalty alpha^2 = 0.25 -> cut 0.875.
+        assert self.cut_factor(2.0) == pytest.approx(0.875, abs=0.01)
+
+    def test_far_deadline_cuts_more(self):
+        # d = 0.5: penalty sqrt(alpha) ~ 0.707 -> cut ~0.646.
+        assert self.cut_factor(0.5) == pytest.approx(0.646, abs=0.01)
+
+
+class TestEndToEnd:
+    def test_behaves_like_dctcp_without_deadlines(self):
+        def queue_stats(sender_cls):
+            nw = dumbbell(
+                4, lambda: SingleThresholdMarker.from_threshold(40)
+            )
+            from repro.sim.apps.bulk import launch_bulk_flows
+            from repro.sim.trace import QueueMonitor
+
+            launch_bulk_flows(nw, sender_cls=sender_cls)
+            mon = QueueMonitor(nw.sim, nw.bottleneck_queue, 20e-6)
+            mon.start()
+            nw.sim.run(until=0.02)
+            return mon.series(after=0.008)
+
+        d2 = queue_stats(D2tcpSender)
+        dctcp = queue_stats(DctcpSender)
+        assert d2.mean() == pytest.approx(dctcp.mean(), rel=0.1)
+
+    def test_near_deadline_flow_finishes_sooner_under_contention(self):
+        """Two equal transfers compete through a marking bottleneck; the
+        one with the tight deadline receives the milder cuts and lands
+        first."""
+        nw = dumbbell(2, lambda: SingleThresholdMarker.from_threshold(15))
+        done = {}
+        total = 2000
+        tight = open_flow(
+            nw.senders[0], nw.receiver, D2tcpSender, total_packets=total,
+            deadline=0.02, on_complete=lambda t: done.setdefault("tight", t),
+        )
+        loose = open_flow(
+            nw.senders[1], nw.receiver, D2tcpSender, total_packets=total,
+            deadline=10.0, on_complete=lambda t: done.setdefault("loose", t),
+        )
+        tight.start()
+        loose.start()
+        nw.sim.run(until=5.0)
+        assert tight.completed and loose.completed
+        assert done["tight"] < done["loose"]

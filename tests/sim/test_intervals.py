@@ -1,0 +1,138 @@
+"""Unit tests for the SACK interval set."""
+
+import pytest
+
+from repro.sim.tcp.intervals import IntervalSet
+
+
+class TestBasicOperations:
+    def test_empty(self):
+        s = IntervalSet()
+        assert not s
+        assert len(s) == 0
+        assert s.blocks == []
+        assert 5 not in s
+
+    def test_single_point(self):
+        s = IntervalSet()
+        s.add(5)
+        assert 5 in s
+        assert 4 not in s
+        assert 6 not in s
+        assert s.blocks == [(5, 6)]
+        assert len(s) == 1
+
+    def test_adjacent_points_merge(self):
+        s = IntervalSet()
+        s.add(5)
+        s.add(6)
+        s.add(4)
+        assert s.blocks == [(4, 7)]
+
+    def test_disjoint_points_stay_separate(self):
+        s = IntervalSet()
+        s.add(1)
+        s.add(5)
+        s.add(9)
+        assert s.blocks == [(1, 2), (5, 6), (9, 10)]
+        assert len(s) == 3
+
+    def test_range_insertion(self):
+        s = IntervalSet()
+        s.add_range(10, 20)
+        assert s.blocks == [(10, 20)]
+        assert len(s) == 10
+
+    def test_empty_range_ignored(self):
+        s = IntervalSet()
+        s.add_range(5, 5)
+        s.add_range(7, 3)
+        assert not s
+
+    def test_overlapping_ranges_merge(self):
+        s = IntervalSet()
+        s.add_range(1, 5)
+        s.add_range(3, 8)
+        assert s.blocks == [(1, 8)]
+
+    def test_bridging_range_merges_neighbours(self):
+        s = IntervalSet()
+        s.add_range(1, 3)
+        s.add_range(7, 9)
+        s.add_range(3, 7)
+        assert s.blocks == [(1, 9)]
+
+    def test_duplicate_add_idempotent(self):
+        s = IntervalSet()
+        s.add(4)
+        s.add(4)
+        assert s.blocks == [(4, 5)]
+
+    def test_iteration_yields_members(self):
+        s = IntervalSet()
+        s.add_range(1, 3)
+        s.add(7)
+        assert list(s) == [1, 2, 7]
+
+
+class TestRemoveBelow:
+    def test_prunes_whole_blocks(self):
+        s = IntervalSet()
+        s.add_range(1, 4)
+        s.add_range(8, 10)
+        s.remove_below(5)
+        assert s.blocks == [(8, 10)]
+
+    def test_truncates_straddling_block(self):
+        s = IntervalSet()
+        s.add_range(1, 10)
+        s.remove_below(4)
+        assert s.blocks == [(4, 10)]
+
+    def test_noop_below_everything(self):
+        s = IntervalSet()
+        s.add_range(5, 8)
+        s.remove_below(2)
+        assert s.blocks == [(5, 8)]
+
+    def test_clears_everything(self):
+        s = IntervalSet()
+        s.add_range(5, 8)
+        s.remove_below(100)
+        assert not s
+
+
+class TestFirstGap:
+    def test_on_empty_set(self):
+        assert IntervalSet().first_gap_at_or_after(3) == 3
+
+    def test_point_not_covered(self):
+        s = IntervalSet()
+        s.add_range(5, 8)
+        assert s.first_gap_at_or_after(3) == 3
+
+    def test_point_inside_block_jumps_to_end(self):
+        s = IntervalSet()
+        s.add_range(5, 8)
+        assert s.first_gap_at_or_after(6) == 8
+
+    def test_adjacent_blocks_with_gap(self):
+        s = IntervalSet()
+        s.add_range(5, 8)
+        s.add_range(9, 12)
+        assert s.first_gap_at_or_after(5) == 8
+        assert s.first_gap_at_or_after(8) == 8
+        assert s.first_gap_at_or_after(9) == 12
+
+
+class TestClearAndRepr:
+    def test_clear(self):
+        s = IntervalSet()
+        s.add_range(1, 5)
+        s.clear()
+        assert not s
+
+    def test_repr_shows_blocks(self):
+        s = IntervalSet()
+        s.add_range(1, 3)
+        assert "[1,3)" in repr(s)

@@ -1,0 +1,119 @@
+"""Unit tests for interfaces (queue + transmitter + propagation)."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.link import Interface
+from repro.sim.node import Node
+from repro.sim.packet import Packet
+from repro.sim.queues import FifoQueue
+
+
+class Sink(Node):
+    """Records delivered packets with timestamps."""
+
+    def __init__(self, sim):
+        super().__init__(sim, "sink")
+        self.received = []
+
+    def receive(self, packet):
+        self.received.append((self.sim.now, packet))
+
+
+def make_iface(sim, bw=1e9, delay=10e-6, capacity=1_000_000):
+    sink = Sink(sim)
+    iface = Interface(sim, bw, delay, FifoQueue(capacity), name="test")
+    iface.connect(sink)
+    return iface, sink
+
+
+def data_packet(seq=0, size=1500):
+    return Packet(flow_id=1, src=0, dst=1, seq=seq, size_bytes=size)
+
+
+class TestTransmission:
+    def test_delivery_time_is_serialization_plus_propagation(self):
+        sim = Simulator()
+        iface, sink = make_iface(sim, bw=1e9, delay=10e-6)
+        iface.send(data_packet())
+        sim.run()
+        expected = 1500 * 8 / 1e9 + 10e-6
+        assert sink.received[0][0] == pytest.approx(expected)
+
+    def test_transmission_time_formula(self):
+        sim = Simulator()
+        iface, _ = make_iface(sim, bw=2e9)
+        assert iface.transmission_time(data_packet(size=1000)) == pytest.approx(
+            1000 * 8 / 2e9
+        )
+
+    def test_back_to_back_packets_serialize(self):
+        sim = Simulator()
+        iface, sink = make_iface(sim, bw=1e9, delay=0.0)
+        for i in range(3):
+            iface.send(data_packet(seq=i))
+        sim.run()
+        times = [t for t, _ in sink.received]
+        tx = 1500 * 8 / 1e9
+        assert times == pytest.approx([tx, 2 * tx, 3 * tx])
+
+    def test_fifo_delivery_order(self):
+        sim = Simulator()
+        iface, sink = make_iface(sim)
+        for i in range(10):
+            iface.send(data_packet(seq=i))
+        sim.run()
+        assert [p.seq for _, p in sink.received] == list(range(10))
+
+    def test_busy_flag_during_transmission(self):
+        sim = Simulator()
+        iface, _ = make_iface(sim)
+        assert not iface.busy
+        iface.send(data_packet())
+        assert iface.busy
+        sim.run()
+        assert not iface.busy
+
+    def test_pipelining_overlaps_propagation(self):
+        """With large propagation delay, packet 2 transmits while packet
+        1 is still in flight: delivery spacing equals tx time, not
+        tx + prop."""
+        sim = Simulator()
+        iface, sink = make_iface(sim, bw=1e9, delay=1e-3)
+        iface.send(data_packet(seq=0))
+        iface.send(data_packet(seq=1))
+        sim.run()
+        gap = sink.received[1][0] - sink.received[0][0]
+        assert gap == pytest.approx(1500 * 8 / 1e9)
+
+
+class TestDropsAndCounters:
+    def test_overflow_dropped_and_reported(self):
+        sim = Simulator()
+        iface, sink = make_iface(sim, capacity=3000)
+        results = [iface.send(data_packet(seq=i)) for i in range(4)]
+        sim.run()
+        # One in the transmitter + two queued fit; the 4th drops.
+        assert results == [True, True, True, False]
+        assert len(sink.received) == 3
+
+    def test_packets_delivered_counter(self):
+        sim = Simulator()
+        iface, _ = make_iface(sim)
+        for i in range(5):
+            iface.send(data_packet(seq=i))
+        sim.run()
+        assert iface.packets_delivered == 5
+
+
+class TestValidation:
+    def test_send_before_connect_rejected(self):
+        sim = Simulator()
+        iface = Interface(sim, 1e9, 1e-6, FifoQueue(1000))
+        with pytest.raises(RuntimeError):
+            iface.send(data_packet())
+
+    @pytest.mark.parametrize("bw,delay", [(0.0, 1e-6), (-1.0, 1e-6), (1e9, -1.0)])
+    def test_invalid_parameters(self, bw, delay):
+        with pytest.raises(ValueError):
+            Interface(Simulator(), bw, delay, FifoQueue(1000))

@@ -1,0 +1,138 @@
+"""Tests for the receive-window cap and mark-on-dequeue variants."""
+
+import pytest
+
+from repro.core.marking import SingleThresholdMarker
+from repro.sim.packet import Packet
+from repro.sim.queues import FifoQueue
+from repro.sim.tcp.flow import open_flow
+from repro.sim.tcp.sender import DctcpSender
+from repro.sim.topology import Network, dumbbell
+from repro.sim.apps.incast import FanInApp
+from repro.sim.topology import paper_testbed
+from repro.experiments.protocols import dctcp_testbed
+
+
+def make_pair():
+    net = Network()
+    a, b = net.add_host("a"), net.add_host("b")
+    net.connect(a, b, 1e9, 25e-6, FifoQueue(10e6), FifoQueue(10e6))
+    net.finalize_routes()
+    return net, a, b
+
+
+class TestReceiveWindow:
+    def test_in_flight_never_exceeds_rwnd(self):
+        net, a, b = make_pair()
+        flow = open_flow(a, b, DctcpSender, total_packets=500,
+                         receive_window=4, initial_cwnd=50)
+        flow.start()
+        peak = {"inflight": 0}
+
+        def watch():
+            peak["inflight"] = max(peak["inflight"], flow.sender.in_flight)
+            if not flow.completed:
+                net.sim.schedule(20e-6, watch)
+
+        net.sim.schedule(0.0, watch)
+        net.sim.run(until=5.0)
+        assert flow.completed
+        assert peak["inflight"] <= 4
+
+    def test_throughput_limited_to_window_per_rtt(self):
+        net, a, b = make_pair()
+        done = []
+        flow = open_flow(a, b, DctcpSender, total_packets=200,
+                         receive_window=2, on_complete=done.append)
+        flow.start()
+        net.sim.run(until=5.0)
+        # ~2 packets per RTT (~62 us on this direct link) -> ~6 ms,
+        # far above the ~0.3 ms an unconstrained window would take.
+        assert done[0] > 0.004
+
+    def test_invalid_rwnd_rejected(self):
+        net, a, b = make_pair()
+        with pytest.raises(ValueError):
+            open_flow(a, b, DctcpSender, total_packets=1, receive_window=0)
+
+    def test_rwnd_cap_mitigates_incast(self):
+        """The classic mitigation: cap each worker's window so the
+        aggregate fits the switch buffer - the collapse point moves out."""
+
+        def goodput(rwnd):
+            protocol = dctcp_testbed()
+            tb = paper_testbed(protocol.marker_factory)
+            kwargs = dict(
+                n_flows=38,  # past the uncapped collapse point
+                bytes_per_flow=64 * 1024,
+                n_queries=5,
+                sender_cls=protocol.sender_cls,
+                initial_cwnd=2,
+                start_jitter=50e-6,
+            )
+            if rwnd is not None:
+                kwargs["receive_window"] = rwnd
+            app = FanInApp(tb.aggregator, tb.workers, **kwargs)
+            app.start()
+            tb.sim.run(until=200.0)
+            return app.overall_goodput_bps()
+
+        uncapped = goodput(None)
+        capped = goodput(2)
+        assert uncapped < 0.5e9  # collapsed
+        assert capped > 0.9e9  # saved by the window cap
+
+
+class TestMarkOnDequeue:
+    def make_packet(self, seq):
+        return Packet(flow_id=1, src=0, dst=1, seq=seq, size_bytes=1500)
+
+    def test_departure_marking_uses_remaining_queue(self):
+        q = FifoQueue(
+            1e6,
+            marker=SingleThresholdMarker.from_threshold(2),
+            mark_on_dequeue=True,
+        )
+        packets = [self.make_packet(i) for i in range(4)]
+        for p in packets:
+            q.enqueue(p)
+        assert not any(p.ce for p in packets)  # nothing marked on arrival
+        out0 = q.dequeue()  # leaves 3 behind -> >= 2 -> marked
+        out1 = q.dequeue()  # leaves 2 -> marked
+        out2 = q.dequeue()  # leaves 1 -> not marked
+        out3 = q.dequeue()  # leaves 0 -> not marked
+        assert [out0.ce, out1.ce, out2.ce, out3.ce] == [
+            True, True, False, False,
+        ]
+        assert q.stats.marked == 2
+
+    def test_arrival_marking_unchanged_by_default(self):
+        q = FifoQueue(1e6, marker=SingleThresholdMarker.from_threshold(2))
+        packets = [self.make_packet(i) for i in range(4)]
+        for p in packets:
+            q.enqueue(p)
+        assert [p.ce for p in packets] == [False, False, True, True]
+
+    def test_end_to_end_queue_regulation_with_dequeue_marking(self):
+        from repro.sim.apps.bulk import launch_bulk_flows
+        from repro.sim.trace import QueueMonitor
+        from repro.sim.link import Interface
+
+        nw = dumbbell(4, lambda: SingleThresholdMarker.from_threshold(40))
+        # Swap the bottleneck for a dequeue-marking one.
+        marked = FifoQueue(
+            nw.bottleneck_queue.capacity_bytes,
+            marker=SingleThresholdMarker.from_threshold(40),
+            mark_on_dequeue=True,
+        )
+        iface = nw.network.interface_between(
+            nw.switch.node_id, nw.receiver.node_id
+        )
+        iface.queue = marked
+        launch_bulk_flows(nw)
+        monitor = QueueMonitor(nw.sim, marked, interval=10e-6)
+        monitor.start()
+        nw.sim.run(until=0.02)
+        queue = monitor.series(after=0.008)
+        assert 20 < queue.mean() < 70
+        assert marked.stats.marked > 0

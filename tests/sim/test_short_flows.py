@@ -1,0 +1,121 @@
+"""Tests for the short-flow generator and the queue-buildup experiment."""
+
+import pytest
+
+from repro.core.marking import SingleThresholdMarker
+from repro.sim.apps.short_flows import ShortFlowGenerator
+from repro.sim.topology import dumbbell
+
+
+def droptailish():
+    return SingleThresholdMarker.from_threshold(40)
+
+
+class TestShortFlowGenerator:
+    def make(self, arrival_rate=2000.0, flow_bytes=15000, seed=7):
+        nw = dumbbell(2, droptailish)
+        gen = ShortFlowGenerator(
+            nw.senders[0],
+            nw.receiver,
+            flow_bytes=flow_bytes,
+            arrival_rate=arrival_rate,
+            seed=seed,
+        )
+        return nw, gen
+
+    def test_flows_launch_and_complete(self):
+        nw, gen = self.make()
+        gen.start()
+        nw.sim.run(until=0.02)
+        gen.stop()
+        nw.sim.run(until=1.0)
+        assert gen.flows_started > 10
+        assert len(gen.completion_times) == gen.flows_started
+
+    def test_arrival_rate_roughly_respected(self):
+        nw, gen = self.make(arrival_rate=5000.0)
+        gen.start()
+        nw.sim.run(until=0.02)
+        # Expect ~100 arrivals in 20 ms at 5000/s; allow wide slack.
+        assert 50 < gen.flows_started < 200
+
+    def test_packets_per_flow_rounding(self):
+        nw, gen = self.make(flow_bytes=1501)
+        assert gen.packets_per_flow == 2
+
+    def test_completion_times_positive_and_sane(self):
+        nw, gen = self.make()
+        gen.start()
+        nw.sim.run(until=0.01)
+        gen.stop()
+        nw.sim.run(until=1.0)
+        assert all(0 < t < 0.1 for t in gen.completion_times)
+
+    def test_stop_prevents_new_launches(self):
+        nw, gen = self.make()
+        gen.start()
+        nw.sim.run(until=0.005)
+        started = gen.flows_started
+        gen.stop()
+        nw.sim.run(until=0.02)
+        assert gen.flows_started == started
+
+    def test_deterministic_given_seed(self):
+        _, a = self.make(seed=3)
+        _, b = self.make(seed=3)
+        # Identical arrival processes.
+        assert [a._rng.random() for _ in range(5)] == [
+            b._rng.random() for _ in range(5)
+        ]
+
+    def test_on_flow_complete_callback(self):
+        nw, gen = self.make()
+        fcts = []
+        gen.on_flow_complete = fcts.append
+        gen.start()
+        nw.sim.run(until=0.01)
+        gen.stop()
+        nw.sim.run(until=1.0)
+        assert fcts == gen.completion_times
+
+    def test_endpoints_cleaned_up(self):
+        nw, gen = self.make()
+        gen.start()
+        nw.sim.run(until=0.01)
+        gen.stop()
+        nw.sim.run(until=1.0)
+        assert not nw.receiver._endpoints
+
+    @pytest.mark.parametrize("kwargs", [
+        {"flow_bytes": 0},
+        {"arrival_rate": 0.0},
+    ])
+    def test_invalid_parameters(self, kwargs):
+        nw = dumbbell(1, droptailish)
+        defaults = dict(flow_bytes=1500, arrival_rate=100.0)
+        defaults.update(kwargs)
+        with pytest.raises(ValueError):
+            ShortFlowGenerator(nw.senders[0], nw.receiver, **defaults)
+
+    def test_double_start_rejected(self):
+        nw, gen = self.make()
+        gen.start()
+        with pytest.raises(RuntimeError):
+            gen.start()
+
+
+class TestQueueBuildupExperiment:
+    def test_ecn_beats_droptail_on_fct(self):
+        from repro.experiments.queue_buildup import run_protocol
+        from repro.experiments.protocols import ProtocolConfig, dctcp_sim
+        from repro.core.marking import NullMarker
+        from repro.sim.tcp.sender import RenoSender
+
+        droptail = ProtocolConfig(
+            "DropTail-Reno", lambda: NullMarker(), RenoSender
+        )
+        kwargs = dict(duration=0.03, warmup=0.006, arrival_rate=1500.0)
+        reno = run_protocol(droptail, **kwargs)
+        dctcp = run_protocol(dctcp_sim(), **kwargs)
+        assert dctcp.mean_queue < reno.mean_queue
+        assert dctcp.mean_fct < reno.mean_fct

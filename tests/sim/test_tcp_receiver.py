@@ -1,0 +1,170 @@
+"""Unit tests for the TCP receiver and its DCTCP ECN-echo state machine."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.packet import Packet
+from repro.sim.tcp.receiver import TcpReceiver
+
+
+class FakeHost:
+    """Captures ACKs the receiver emits instead of sending them."""
+
+    def __init__(self, sim, node_id=7):
+        self.sim = sim
+        self.node_id = node_id
+        self.sent = []
+
+    def send(self, packet):
+        self.sent.append(packet)
+        return True
+
+
+def data(seq, ce=False, flow=1):
+    p = Packet(flow_id=flow, src=3, dst=7, seq=seq, size_bytes=1500)
+    p.ce = ce
+    return p
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def host(sim):
+    return FakeHost(sim)
+
+
+def make_receiver(sim, host, m=1, on_data=None):
+    return TcpReceiver(
+        sim, host, flow_id=1, peer_node_id=3, delayed_ack_factor=m,
+        on_data=on_data,
+    )
+
+
+class TestCumulativeAck:
+    def test_in_order_advances(self, sim, host):
+        rx = make_receiver(sim, host)
+        for i in range(3):
+            rx.on_packet(data(i))
+        assert rx.rcv_next == 3
+        assert [a.ack_seq for a in host.sent] == [1, 2, 3]
+
+    def test_ack_fields(self, sim, host):
+        rx = make_receiver(sim, host)
+        rx.on_packet(data(0))
+        ack = host.sent[0]
+        assert ack.is_ack
+        assert ack.flow_id == 1
+        assert ack.dst == 3
+        assert ack.size_bytes == 40
+
+    def test_out_of_order_buffered(self, sim, host):
+        rx = make_receiver(sim, host)
+        rx.on_packet(data(0))
+        rx.on_packet(data(2))  # hole at 1
+        assert rx.rcv_next == 1
+        assert host.sent[-1].ack_seq == 1  # duplicate ACK
+        rx.on_packet(data(1))  # hole filled
+        assert rx.rcv_next == 3
+        assert host.sent[-1].ack_seq == 3
+
+    def test_duplicate_data_counted(self, sim, host):
+        rx = make_receiver(sim, host)
+        rx.on_packet(data(0))
+        rx.on_packet(data(0))
+        assert rx.duplicates_received == 1
+        assert rx.rcv_next == 1
+
+    def test_out_of_order_forces_immediate_dupacks(self, sim, host):
+        rx = make_receiver(sim, host, m=4)
+        rx.on_packet(data(0))
+        rx.on_packet(data(5))
+        rx.on_packet(data(6))
+        # Each out-of-order arrival forced an immediate ACK.
+        acks = [a.ack_seq for a in host.sent]
+        assert acks.count(1) >= 2
+
+    def test_on_data_reports_in_order_only(self, sim, host):
+        delivered = []
+        rx = make_receiver(sim, host, on_data=delivered.append)
+        rx.on_packet(data(0))
+        rx.on_packet(data(2))
+        rx.on_packet(data(1))
+        assert delivered == [1, 2]  # 1 packet, then 2 at once
+
+    def test_ignores_stray_acks(self, sim, host):
+        rx = make_receiver(sim, host)
+        ack = Packet(flow_id=1, src=3, dst=7, seq=-1, size_bytes=40,
+                     is_ack=True, ack_seq=5)
+        rx.on_packet(ack)
+        assert rx.rcv_next == 0
+        assert host.sent == []
+
+
+class TestEcnEcho:
+    def test_unmarked_stream_echoes_nothing(self, sim, host):
+        rx = make_receiver(sim, host)
+        for i in range(4):
+            rx.on_packet(data(i))
+        assert not any(a.ece for a in host.sent)
+
+    def test_marked_packet_echoed(self, sim, host):
+        rx = make_receiver(sim, host)
+        rx.on_packet(data(0, ce=True))
+        assert host.sent[0].ece
+
+    def test_per_packet_acks_echo_exactly(self, sim, host):
+        rx = make_receiver(sim, host, m=1)
+        pattern = [False, True, True, False, True]
+        for i, ce in enumerate(pattern):
+            rx.on_packet(data(i, ce=ce))
+        assert [a.ece for a in host.sent] == pattern
+
+    def test_ce_transition_flushes_with_old_state(self, sim, host):
+        """DCTCP receiver rule: a CE change forces an immediate ACK
+        carrying the *previous* CE state (SIGCOMM'10, Section 3.2)."""
+        rx = make_receiver(sim, host, m=10)
+        rx.on_packet(data(0, ce=False))
+        rx.on_packet(data(1, ce=False))
+        assert host.sent == []  # coalescing, no ACK yet
+        rx.on_packet(data(2, ce=True))  # transition
+        assert len(host.sent) == 1
+        flushed = host.sent[0]
+        assert flushed.ece is False  # old state
+        assert flushed.ack_seq == 2  # covers packets 0-1 only
+        assert flushed.delayed_ack_count == 2
+
+    def test_delayed_ack_factor_coalesces(self, sim, host):
+        rx = make_receiver(sim, host, m=2)
+        rx.on_packet(data(0))
+        assert host.sent == []
+        rx.on_packet(data(1))
+        assert len(host.sent) == 1
+        assert host.sent[0].ack_seq == 2
+        assert host.sent[0].delayed_ack_count == 2
+
+    def test_delack_timer_flushes_lone_packet(self, sim, host):
+        rx = make_receiver(sim, host, m=2)
+        rx.on_packet(data(0))
+        sim.run(until=rx.delayed_ack_timeout * 2)
+        assert len(host.sent) == 1
+        assert host.sent[0].ack_seq == 1
+
+    def test_marked_fraction_reconstructable(self, sim, host):
+        """Sender-side alpha needs sum(delayed_ack_count | ece) to equal
+        the number of marked packets - verify over a mixed pattern."""
+        rx = make_receiver(sim, host, m=3)
+        pattern = [False, False, True, True, True, False, True, False, False]
+        for i, ce in enumerate(pattern):
+            rx.on_packet(data(i, ce=ce))
+        sim.run(until=1.0)
+        marked = sum(a.delayed_ack_count for a in host.sent if a.ece)
+        unmarked = sum(a.delayed_ack_count for a in host.sent if not a.ece)
+        assert marked == sum(pattern)
+        assert unmarked == len(pattern) - sum(pattern)
+
+    def test_rejects_bad_delack_factor(self, sim, host):
+        with pytest.raises(ValueError):
+            make_receiver(sim, host, m=0)

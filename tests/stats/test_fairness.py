@@ -1,0 +1,41 @@
+"""Tests for the Jain fairness index."""
+
+import pytest
+
+from repro.stats import jain_fairness
+
+
+class TestJainFairness:
+    def test_equal_shares_are_perfectly_fair(self):
+        assert jain_fairness([5.0, 5.0, 5.0]) == pytest.approx(1.0)
+
+    def test_single_hog_is_one_over_n(self):
+        assert jain_fairness([10.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+    def test_scale_invariant(self):
+        a = [1.0, 2.0, 3.0]
+        b = [10.0, 20.0, 30.0]
+        assert jain_fairness(a) == pytest.approx(jain_fairness(b))
+
+    def test_known_value(self):
+        # (1+3)^2 / (2 * (1+9)) = 16/20 = 0.8
+        assert jain_fairness([1.0, 3.0]) == pytest.approx(0.8)
+
+    def test_bounds(self):
+        import itertools
+
+        for shares in itertools.product([0.5, 1.0, 4.0], repeat=3):
+            value = jain_fairness(list(shares))
+            assert 1.0 / 3.0 - 1e-9 <= value <= 1.0 + 1e-9
+
+    def test_negative_shares_rejected(self):
+        with pytest.raises(ValueError):
+            jain_fairness([1.0, -1.0])
+
+    def test_all_zero_rejected(self):
+        with pytest.raises(ValueError):
+            jain_fairness([0.0, 0.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            jain_fairness([])

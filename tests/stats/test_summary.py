@@ -1,0 +1,96 @@
+"""Unit tests for repro.stats.summary."""
+
+import numpy as np
+import pytest
+
+from repro.stats.summary import (
+    coefficient_of_variation,
+    mean,
+    oscillation_amplitude,
+    percentile,
+    relative_to_baseline,
+    std,
+    tail_latency,
+)
+
+
+class TestBasics:
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+
+    def test_std_population(self):
+        assert std([2.0, 4.0]) == pytest.approx(1.0)
+
+    def test_single_sample(self):
+        assert mean([5.0]) == 5.0
+        assert std([5.0]) == 0.0
+
+    @pytest.mark.parametrize("fn", [mean, std, oscillation_amplitude])
+    def test_empty_rejected(self, fn):
+        with pytest.raises(ValueError):
+            fn([])
+
+
+class TestPercentiles:
+    def test_median(self):
+        assert percentile([1, 2, 3, 4, 5], 50) == 3.0
+
+    def test_extremes(self):
+        data = list(range(101))
+        assert percentile(data, 0) == 0.0
+        assert percentile(data, 100) == 100.0
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+        with pytest.raises(ValueError):
+            percentile([1.0], -1)
+
+    def test_tail_latency_triplet(self):
+        data = list(range(1, 101))
+        p50, p95, p99 = tail_latency(data)
+        assert p50 == pytest.approx(50.5)
+        assert p95 == pytest.approx(95.05)
+        assert p99 == pytest.approx(99.01)
+        assert p50 <= p95 <= p99
+
+
+class TestOscillationAmplitude:
+    def test_sine_amplitude(self):
+        t = np.linspace(0, 20 * np.pi, 5000)
+        assert oscillation_amplitude(10 + 3 * np.sin(t)) == pytest.approx(
+            3.0, rel=0.02
+        )
+
+    def test_constant_signal(self):
+        assert oscillation_amplitude([7.0] * 50) == 0.0
+
+    def test_single_outlier_clipped(self):
+        data = [10.0] * 1000 + [1000.0]
+        assert oscillation_amplitude(data) < 100.0
+
+
+class TestRelativeToBaseline:
+    def test_normalisation(self):
+        out = relative_to_baseline([32.0, 48.0, 64.0], 32.0)
+        assert list(out) == pytest.approx([1.0, 1.5, 2.0])
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            relative_to_baseline([1.0], 0.0)
+
+
+class TestCoefficientOfVariation:
+    def test_known_value(self):
+        assert coefficient_of_variation([2.0, 4.0]) == pytest.approx(1.0 / 3.0)
+
+    def test_zero_mean_rejected(self):
+        with pytest.raises(ValueError):
+            coefficient_of_variation([-1.0, 1.0])
+
+    def test_scale_free(self):
+        a = [1.0, 2.0, 3.0]
+        b = [10.0, 20.0, 30.0]
+        assert coefficient_of_variation(a) == pytest.approx(
+            coefficient_of_variation(b)
+        )

@@ -1,0 +1,139 @@
+"""Unit tests for repro.stats.timeseries."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.stats.timeseries import (
+    autocorrelation,
+    crossings,
+    dominant_frequency,
+    time_weighted_mean,
+    time_weighted_std,
+)
+
+
+class TestTimeWeightedMean:
+    def test_uniform_sampling_matches_plain_mean(self):
+        t = [0.0, 1.0, 2.0, 3.0]
+        v = [1.0, 2.0, 3.0, 99.0]  # last value has zero hold time
+        assert time_weighted_mean(t, v) == pytest.approx(2.0)
+
+    def test_irregular_sampling_weights_by_hold_time(self):
+        # Value 10 held for 9 s, value 0 held for 1 s.
+        t = [0.0, 9.0, 10.0]
+        v = [10.0, 0.0, 0.0]
+        assert time_weighted_mean(t, v) == pytest.approx(9.0)
+
+    def test_zero_span_falls_back_to_plain_mean(self):
+        assert time_weighted_mean([1.0, 1.0], [2.0, 4.0]) == pytest.approx(3.0)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            time_weighted_mean([0.0, 1.0], [1.0])
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(ValueError):
+            time_weighted_mean([0.0], [1.0])
+
+    def test_decreasing_times_rejected(self):
+        with pytest.raises(ValueError):
+            time_weighted_mean([1.0, 0.5], [1.0, 2.0])
+
+
+class TestTimeWeightedStd:
+    def test_constant_signal(self):
+        assert time_weighted_std([0, 1, 2], [5.0, 5.0, 5.0]) == 0.0
+
+    def test_matches_plain_std_for_uniform_sampling(self):
+        rng = np.random.default_rng(0)
+        v = rng.normal(size=1000)
+        t = np.arange(1000.0)
+        assert time_weighted_std(t, v) == pytest.approx(
+            float(np.std(v[:-1])), rel=1e-6
+        )
+
+    def test_hold_time_weighting(self):
+        # 10 held 1s, 0 held 9s: mean 1, var = 1*(81)+9*(1) over 10 = 9.
+        t = [0.0, 1.0, 10.0]
+        v = [10.0, 0.0, 0.0]
+        assert time_weighted_std(t, v) == pytest.approx(3.0)
+
+
+class TestDominantFrequency:
+    def test_pure_tone(self):
+        dt = 1e-4
+        t = np.arange(8192) * dt
+        f = 250.0
+        signal = np.sin(2 * np.pi * f * t)
+        assert dominant_frequency(signal, dt) == pytest.approx(
+            2 * np.pi * f, rel=0.02
+        )
+
+    def test_ignores_dc_offset(self):
+        dt = 1e-3
+        t = np.arange(4096) * dt
+        signal = 100.0 + np.sin(2 * np.pi * 20 * t)
+        assert dominant_frequency(signal, dt) == pytest.approx(
+            2 * np.pi * 20, rel=0.05
+        )
+
+    def test_strongest_of_two_tones(self):
+        dt = 1e-3
+        t = np.arange(4096) * dt
+        signal = 3 * np.sin(2 * np.pi * 30 * t) + np.sin(2 * np.pi * 90 * t)
+        assert dominant_frequency(signal, dt) == pytest.approx(
+            2 * np.pi * 30, rel=0.05
+        )
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            dominant_frequency([1.0] * 8, 1e-3)
+
+    def test_bad_interval_rejected(self):
+        with pytest.raises(ValueError):
+            dominant_frequency([0.0] * 64, 0.0)
+
+
+class TestAutocorrelation:
+    def test_lag_zero_is_one(self):
+        rng = np.random.default_rng(1)
+        v = rng.normal(size=500)
+        assert autocorrelation(v, 10)[0] == pytest.approx(1.0)
+
+    def test_periodic_signal_peaks_at_period(self):
+        period = 50
+        t = np.arange(1000)
+        v = np.sin(2 * np.pi * t / period)
+        acf = autocorrelation(v, 60)
+        assert acf[period] == pytest.approx(1.0, abs=0.05)
+        assert acf[period // 2] == pytest.approx(-1.0, abs=0.05)
+
+    def test_constant_signal_returns_ones(self):
+        assert list(autocorrelation([3.0] * 20, 5)) == [1.0] * 6
+
+    def test_invalid_lag_rejected(self):
+        with pytest.raises(ValueError):
+            autocorrelation([1.0, 2.0], 5)
+
+
+class TestCrossings:
+    def test_counts_both_directions(self):
+        # sin over [0, 6pi): starts at (and counts as) "above"; it then
+        # goes below at pi, 3pi, 5pi and back above at 2pi, 4pi.
+        t = np.linspace(0, 6 * math.pi, 600, endpoint=False)
+        up, down = crossings(np.sin(t), 0.0)
+        assert up == 2
+        assert down == 3
+
+    def test_no_crossings_for_flat_signal(self):
+        assert crossings([1.0] * 10, 5.0) == (0, 0)
+
+    def test_short_input(self):
+        assert crossings([1.0], 0.5) == (0, 0)
+
+    def test_threshold_level_respected(self):
+        v = [0, 10, 0, 10, 0]
+        assert crossings(v, 5.0) == (2, 2)
+        assert crossings(v, 50.0) == (0, 0)
