@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.core import (
@@ -58,8 +59,16 @@ FIGURES = {
     "15": "repro.experiments.fig15_completion_time",
 }
 
-#: Figure mains that accept a Scale argument.
+#: Figure mains that accept a Scale argument; these are the sweep-shaped
+#: figures, which also accept a SweepExecutor for --jobs / caching.
 SCALED_FIGURES = {"1", "10", "11", "12", "14", "15"}
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {text}")
+    return value
 
 
 def _protocol_params(name: str):
@@ -96,10 +105,16 @@ def cmd_analyze(args: argparse.Namespace) -> int:
 
 def cmd_figure(args: argparse.Namespace) -> int:
     scale = quick_scale() if args.quick else full_scale()
+    use_cache = not args.no_cache
     if args.id == "all":
         from repro.experiments.runner import run_all
 
-        run_all(quick=args.quick)
+        run_all(
+            quick=args.quick,
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            use_cache=use_cache,
+        )
         return 0
     module_name = FIGURES.get(args.id)
     if module_name is None:
@@ -110,7 +125,21 @@ def cmd_figure(args: argparse.Namespace) -> int:
 
     module = importlib.import_module(module_name)
     if args.id in SCALED_FIGURES:
-        module.main(scale)
+        from repro.exec import ResultCache, SweepExecutor, default_cache_dir
+
+        cache = (
+            ResultCache(
+                args.cache_dir if args.cache_dir is not None
+                else default_cache_dir()
+            )
+            if use_cache
+            else None
+        )
+        executor = SweepExecutor(jobs=args.jobs, cache=cache)
+        module.main(scale, executor=executor)
+        # Telemetry on stderr so the figure table on stdout stays
+        # byte-identical to a plain sequential run.
+        print(executor.report.render(), file=sys.stderr)
     else:
         module.main()
     return 0
@@ -186,6 +215,13 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("figure", help="regenerate one paper figure")
     p.add_argument("id", help="figure number or 'all'")
     p.add_argument("--quick", action="store_true")
+    p.add_argument("--jobs", type=_positive_int, default=1,
+                   help="worker processes for sweep-shaped figures")
+    p.add_argument("--cache-dir", type=Path, default=None,
+                   help="result cache directory "
+                        "(default $REPRO_CACHE_DIR or .repro-cache)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="ignore and bypass the result cache")
     p.set_defaults(func=cmd_figure)
 
     p = sub.add_parser("simulate", help="one dumbbell run")

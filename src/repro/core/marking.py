@@ -215,6 +215,14 @@ class REDMarker:
 
             rng = random.Random(0)
         self._rng = rng
+        # Snapshot the generator so reset() restores the whole marker —
+        # EWMA *and* dice — and a replayed queue reproduces the exact
+        # marking sequence.  RNGs without getstate/setstate (custom
+        # stubs) simply keep their stream across resets.
+        try:
+            self._rng_initial_state = rng.getstate()
+        except AttributeError:
+            self._rng_initial_state = None
 
     @property
     def average_queue(self) -> float:
@@ -244,6 +252,8 @@ class REDMarker:
 
     def reset(self) -> None:
         self._avg = None
+        if self._rng_initial_state is not None:
+            self._rng.setstate(self._rng_initial_state)
 
     def __repr__(self) -> str:
         return (

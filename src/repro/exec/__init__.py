@@ -1,0 +1,36 @@
+"""Parallel sweep execution with content-addressed result caching.
+
+The paper's evaluation is a family of embarrassingly parallel sweeps —
+every ``(protocol, N)`` or ``(protocol, fan-out)`` cell is one
+independent, deterministic simulation.  This package turns that
+structure into throughput:
+
+* :mod:`repro.exec.cases`    — the :class:`Case` unit of work and the
+  worker-side dispatcher;
+* :mod:`repro.exec.cache`    — a content-addressed on-disk cache so a
+  re-run with unchanged parameters skips simulation entirely;
+* :mod:`repro.exec.executor` — the process-pool :class:`SweepExecutor`
+  fanning cases across ``--jobs`` workers;
+* :mod:`repro.exec.report`   — per-stage timing and cache-hit telemetry.
+
+Every case is deterministic and self-contained (its own simulator and
+locally seeded RNGs), so the executor guarantees results identical to a
+sequential run regardless of worker count or completion order.
+"""
+
+from repro.exec.cache import ResultCache, default_cache_dir
+from repro.exec.cases import Case, case_key, execute_case
+from repro.exec.executor import SweepExecutor, execute_cases
+from repro.exec.report import RunReport, StageStats
+
+__all__ = [
+    "Case",
+    "ResultCache",
+    "RunReport",
+    "StageStats",
+    "SweepExecutor",
+    "case_key",
+    "default_cache_dir",
+    "execute_case",
+    "execute_cases",
+]

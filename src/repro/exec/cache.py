@@ -1,0 +1,81 @@
+"""Content-addressed on-disk result cache.
+
+One JSON file per case, at ``<root>/<key[:2]>/<key>.json`` (the git
+object-store layout keeps directories small).  Writes are atomic
+(temp file + rename), so concurrent workers and concurrent runner
+invocations can share one cache directory safely; a torn or corrupt
+entry is treated as a miss and rewritten.
+
+The key (:func:`repro.exec.cases.case_key`) hashes the experiment name
+and the full parameter set, so any parameter change — scale, RTT,
+thresholds — lands in a fresh slot and never aliases an old result.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from repro.exec.cases import Case, case_key
+
+__all__ = ["ResultCache", "default_cache_dir"]
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` if set, else ``.repro-cache`` in the cwd."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    return Path(env) if env else Path(".repro-cache")
+
+
+class ResultCache:
+    """Maps a :class:`Case` to its stored result dict, or a miss."""
+
+    def __init__(self, root: Optional[Path] = None):
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, case: Case) -> Optional[Dict[str, Any]]:
+        """The cached result for ``case``, or None (counts the outcome)."""
+        path = self._path(case_key(case))
+        try:
+            with path.open("r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+            result = payload["result"]
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, case: Case, result: Dict[str, Any]) -> None:
+        """Store ``result`` atomically under the case's key."""
+        path = self._path(case_key(case))
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps(
+            {"experiment": case.experiment, "label": case.label,
+             "result": result},
+            sort_keys=True,
+        )
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(payload)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def __repr__(self) -> str:
+        return f"ResultCache({self.root}, hits={self.hits}, misses={self.misses})"

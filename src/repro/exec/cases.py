@@ -1,0 +1,84 @@
+"""The unit of parallel work: one sweep cell as pure data.
+
+A :class:`Case` names an experiment module and carries a flat,
+JSON-serialisable parameter mapping.  The module must expose
+``run_case(case) -> dict`` (pure: builds its own simulator, returns
+JSON-serialisable results), so a case can be shipped to a worker
+process by name + parameters alone and its result stored verbatim in
+the on-disk cache.
+
+The cache key is the SHA-256 of the canonical JSON encoding of
+``(schema version, experiment, params)`` — two cases agree on their key
+iff they describe the same computation, which is what makes the cache
+content-addressed: Figures 10, 11 and 12 all read the same
+``queue_sweep`` cells, so one figure's run warms the other two.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import importlib
+import json
+from typing import Any, Dict
+
+__all__ = ["CACHE_SCHEMA_VERSION", "Case", "case_key", "execute_case"]
+
+#: Bump when the meaning of cached results changes (simulator semantics,
+#: result layout) so stale cache entries are never replayed.
+CACHE_SCHEMA_VERSION = 1
+
+
+@dataclasses.dataclass(frozen=True)
+class Case:
+    """One independent sweep cell.
+
+    ``experiment`` is the dotted module exposing ``run_case``;
+    ``label`` is for progress display and telemetry only (it does not
+    enter the cache key); ``params`` must be JSON-serialisable and
+    fully determine the computation.
+    """
+
+    experiment: str
+    label: str
+    params: Dict[str, Any]
+
+    def __post_init__(self) -> None:
+        if not self.experiment:
+            raise ValueError("Case.experiment must name a module")
+        # Fail fast on un-serialisable params: a case that cannot be
+        # encoded cannot be cached or shipped to a worker.
+        try:
+            json.dumps(self.params, sort_keys=True)
+        except (TypeError, ValueError) as exc:
+            raise ValueError(
+                f"Case params must be JSON-serialisable: {exc}"
+            ) from exc
+
+    def __repr__(self) -> str:
+        return f"Case({self.experiment}:{self.label})"
+
+
+def case_key(case: Case) -> str:
+    """Stable content hash of the computation the case describes."""
+    payload = json.dumps(
+        {
+            "version": CACHE_SCHEMA_VERSION,
+            "experiment": case.experiment,
+            "params": case.params,
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def execute_case(case: Case) -> Dict[str, Any]:
+    """Run one case in the current process (the worker entry point)."""
+    module = importlib.import_module(case.experiment)
+    run_case = getattr(module, "run_case", None)
+    if run_case is None:
+        raise TypeError(
+            f"experiment module {case.experiment!r} exposes no run_case()"
+        )
+    return run_case(case)

@@ -1,0 +1,124 @@
+"""Process-pool sweep executor.
+
+:class:`SweepExecutor` takes a list of independent :class:`Case` cells
+and returns their results *in case order*:
+
+1. every case is first looked up in the optional on-disk cache;
+2. the misses run — inline when ``jobs == 1``, else fanned across a
+   ``ProcessPoolExecutor`` — and are written back to the cache;
+3. per-stage wall time and hit counts accumulate in a
+   :class:`~repro.exec.report.RunReport`.
+
+Determinism: cases are self-contained simulations with locally seeded
+RNGs, so the executor's only contract is *ordering* — results come back
+positionally matched to the input cases, never in completion order.
+Worker processes re-seed nothing and share nothing; a parallel run is
+therefore bit-identical to a sequential one.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.exec.cache import ResultCache
+from repro.exec.cases import Case, execute_case
+from repro.exec.report import RunReport, StageStats
+
+__all__ = ["SweepExecutor", "execute_cases"]
+
+
+def _init_worker(parent_sys_path: List[str]) -> None:
+    """Mirror the parent's import path (pytest inserts paths at runtime)."""
+    for entry in reversed(parent_sys_path):
+        if entry not in sys.path:
+            sys.path.insert(0, entry)
+
+
+class SweepExecutor:
+    """Fan independent cases across ``jobs`` workers, cache-first."""
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache: Optional[ResultCache] = None,
+        report: Optional[RunReport] = None,
+    ):
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.cache = cache
+        self.report = report if report is not None else RunReport(jobs=jobs)
+
+    def run(self, cases: Sequence[Case], stage: str = "") -> List[Dict[str, Any]]:
+        """Execute ``cases``, returning results in input order."""
+        start = time.perf_counter()
+        results: List[Optional[Dict[str, Any]]] = [None] * len(cases)
+        pending: List[int] = []
+        for i, case in enumerate(cases):
+            hit = self.cache.get(case) if self.cache is not None else None
+            if hit is not None:
+                results[i] = hit
+            else:
+                pending.append(i)
+
+        if pending:
+            if self.jobs > 1 and len(pending) > 1:
+                self._run_pool(cases, pending, results)
+            else:
+                for i in pending:
+                    results[i] = execute_case(cases[i])
+            if self.cache is not None:
+                for i in pending:
+                    self.cache.put(cases[i], results[i])
+
+        self.report.add(
+            StageStats(
+                name=stage or (cases[0].experiment if cases else "<empty>"),
+                cases=len(cases),
+                cache_hits=len(cases) - len(pending),
+                executed=len(pending),
+                wall_seconds=time.perf_counter() - start,
+            )
+        )
+        return results  # type: ignore[return-value]
+
+    def _run_pool(
+        self,
+        cases: Sequence[Case],
+        pending: Sequence[int],
+        results: List[Optional[Dict[str, Any]]],
+    ) -> None:
+        workers = min(self.jobs, len(pending))
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_init_worker,
+            initargs=(list(sys.path),),
+        ) as pool:
+            futures = {pool.submit(execute_case, cases[i]): i for i in pending}
+            not_done = set(futures)
+            while not_done:
+                done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
+                for future in done:
+                    # .result() re-raises worker exceptions here, so a
+                    # failing case aborts the stage rather than leaving
+                    # a silent hole in the sweep.
+                    results[futures[future]] = future.result()
+
+
+def execute_cases(
+    cases: Sequence[Case],
+    executor: Optional[SweepExecutor] = None,
+    stage: str = "",
+) -> List[Dict[str, Any]]:
+    """Run ``cases`` through ``executor``, or inline when None.
+
+    The inline path is the exact sequential semantics every experiment
+    module had before the executor existed — ``main()`` with no executor
+    prints byte-identical tables.
+    """
+    if executor is None:
+        return [execute_case(case) for case in cases]
+    return executor.run(cases, stage=stage)

@@ -1,0 +1,101 @@
+"""Structured telemetry for an executor run.
+
+Each :meth:`SweepExecutor.run` call appends one :class:`StageStats`;
+:class:`RunReport` renders the accumulated rows as a compact text block
+(printed after the experiment tables, so the tables themselves stay
+byte-identical to a sequential run) and exports ``to_dict()`` for
+machine consumption.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, List
+
+__all__ = ["RunReport", "StageStats"]
+
+
+@dataclasses.dataclass(frozen=True)
+class StageStats:
+    """Executor telemetry for one experiment stage."""
+
+    name: str
+    cases: int
+    cache_hits: int
+    executed: int
+    wall_seconds: float
+
+    @property
+    def hit_rate(self) -> float:
+        return self.cache_hits / self.cases if self.cases else 0.0
+
+
+class RunReport:
+    """Per-stage timing and cache-hit telemetry for one harness run."""
+
+    def __init__(self, jobs: int = 1):
+        self.jobs = jobs
+        self.stages: List[StageStats] = []
+
+    def add(self, stats: StageStats) -> None:
+        self.stages.append(stats)
+
+    @property
+    def total_cases(self) -> int:
+        return sum(s.cases for s in self.stages)
+
+    @property
+    def total_cache_hits(self) -> int:
+        return sum(s.cache_hits for s in self.stages)
+
+    @property
+    def total_executed(self) -> int:
+        return sum(s.executed for s in self.stages)
+
+    @property
+    def total_wall_seconds(self) -> float:
+        return sum(s.wall_seconds for s in self.stages)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable view of the whole run."""
+        return {
+            "jobs": self.jobs,
+            "stages": [dataclasses.asdict(s) for s in self.stages],
+            "total": {
+                "cases": self.total_cases,
+                "cache_hits": self.total_cache_hits,
+                "executed": self.total_executed,
+                "wall_seconds": self.total_wall_seconds,
+            },
+        }
+
+    def render(self) -> str:
+        """Human-readable summary block."""
+        lines = [f"===== Executor report (jobs={self.jobs}) ====="]
+        if not self.stages:
+            lines.append("no executor-managed stages ran")
+            return "\n".join(lines)
+        name_width = max(len(s.name) for s in self.stages)
+        header = (
+            f"{'stage':<{name_width}}  {'cases':>5}  {'hits':>5}  "
+            f"{'ran':>5}  {'wall':>8}"
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for s in self.stages:
+            lines.append(
+                f"{s.name:<{name_width}}  {s.cases:>5}  {s.cache_hits:>5}  "
+                f"{s.executed:>5}  {s.wall_seconds:>7.2f}s"
+            )
+        lines.append(
+            f"total: {self.total_cases} cases, {self.total_cache_hits} cache "
+            f"hits, {self.total_executed} executed, "
+            f"{self.total_wall_seconds:.2f}s in executor stages"
+        )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"RunReport(jobs={self.jobs}, stages={len(self.stages)}, "
+            f"hits={self.total_cache_hits}/{self.total_cases})"
+        )

@@ -9,19 +9,35 @@ two time series and reports the amplitude and standard-deviation ratios.
 from __future__ import annotations
 
 import dataclasses
-from typing import Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.exec.cases import Case
+from repro.exec.executor import SweepExecutor, execute_cases
 from repro.experiments.config import Scale, full_scale
-from repro.experiments.protocols import ProtocolConfig, dctcp_sim
+from repro.experiments.protocols import (
+    ProtocolConfig,
+    dctcp_sim,
+    protocol_by_id,
+)
 from repro.experiments.tables import print_table, sparkline
 from repro.sim.apps.bulk import launch_bulk_flows
 from repro.sim.topology import dumbbell
 from repro.sim.trace import QueueMonitor
 from repro.stats import oscillation_amplitude
 
-__all__ = ["OscillationResult", "queue_timeseries", "run", "main"]
+__all__ = [
+    "EXPERIMENT",
+    "OscillationResult",
+    "cases",
+    "run_case",
+    "queue_timeseries",
+    "run",
+    "main",
+]
+
+EXPERIMENT = "repro.experiments.fig01_oscillation"
 
 
 @dataclasses.dataclass(frozen=True)
@@ -65,15 +81,64 @@ def queue_timeseries(
     return monitor.time_series(after=scale.warmup)
 
 
-def run(
+def cases(
     scale: Scale = None, n_small: int = 10, n_large: int = 100
+) -> List[Case]:
+    """One :class:`Case` per panel (flow count) of Figure 1."""
+    if scale is None:
+        scale = full_scale()
+    return [
+        Case(
+            experiment=EXPERIMENT,
+            label=f"dctcp-sim/N={n}",
+            params={
+                "protocol": "dctcp-sim",
+                "n_flows": n,
+                "sim_duration": scale.sim_duration,
+                "warmup": scale.warmup,
+                "sample_interval": scale.sample_interval,
+            },
+        )
+        for n in (n_small, n_large)
+    ]
+
+
+def run_case(case: Case) -> dict:
+    """One panel's queue trace; pure function of ``case.params``."""
+    p = case.params
+    scale = Scale(
+        sim_duration=p["sim_duration"],
+        warmup=p["warmup"],
+        sample_interval=p["sample_interval"],
+        flow_counts=(p["n_flows"],),
+        n_queries=1,
+        incast_flows=(),
+        completion_flows=(),
+        fluid_duration=p["sim_duration"],
+    )
+    times, queue = queue_timeseries(
+        protocol_by_id(p["protocol"]), p["n_flows"], scale
+    )
+    return {"times": times.tolist(), "queue": queue.tolist()}
+
+
+def run(
+    scale: Scale = None,
+    n_small: int = 10,
+    n_large: int = 100,
+    executor: Optional[SweepExecutor] = None,
 ) -> OscillationResult:
     """Reproduce Figure 1's two panels."""
     if scale is None:
         scale = full_scale()
-    protocol = dctcp_sim()
-    trace_small = queue_timeseries(protocol, n_small, scale)
-    trace_large = queue_timeseries(protocol, n_large, scale)
+    raw = execute_cases(
+        cases(scale, n_small=n_small, n_large=n_large),
+        executor,
+        stage="Figure 1",
+    )
+    trace_small, trace_large = (
+        (np.asarray(r["times"]), np.asarray(r["queue"])) for r in raw
+    )
     return OscillationResult(
         n_small=n_small,
         n_large=n_large,
@@ -86,8 +151,10 @@ def run(
     )
 
 
-def main(scale: Scale = None) -> OscillationResult:
-    result = run(scale)
+def main(
+    scale: Scale = None, executor: Optional[SweepExecutor] = None
+) -> OscillationResult:
+    result = run(scale, executor=executor)
     print_table(
         ["flows", "queue amplitude (pkts)", "queue std (pkts)"],
         [

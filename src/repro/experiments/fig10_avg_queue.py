@@ -13,14 +13,16 @@ sweep stays ECN-controlled.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
+from repro.exec.cases import Case
+from repro.exec.executor import SweepExecutor
+from repro.experiments import queue_sweep
 from repro.experiments.config import Scale, full_scale
-from repro.experiments.protocols import dctcp_sim, dt_dctcp_sim
-from repro.experiments.queue_sweep import SweepPoint, run_sweep
+from repro.experiments.queue_sweep import SweepPoint, run_sweep_ids
 from repro.experiments.tables import print_table
 
-__all__ = ["NormalizedSweep", "run", "main"]
+__all__ = ["NormalizedSweep", "cases", "run_case", "run", "main"]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -43,15 +45,37 @@ class NormalizedSweep:
         return max(abs(v - 1.0) for _, v in self.normalized(protocol))
 
 
-def run(scale: Scale = None, rtt: float = 100e-6) -> NormalizedSweep:
+def cases(scale: Scale = None, rtt: float = 100e-6) -> List[Case]:
+    """The sweep cells — shared verbatim with Figures 11 and 12."""
     if scale is None:
         scale = full_scale()
-    points = run_sweep([dctcp_sim(), dt_dctcp_sim()], scale, rtt=rtt)
+    return queue_sweep.cases(scale, rtt=rtt)
+
+
+#: One (protocol, N) dumbbell measurement; identical cases across
+#: Figures 10-12 mean the cache runs the sweep once for all three.
+run_case = queue_sweep.run_case
+
+
+def run(
+    scale: Scale = None,
+    rtt: float = 100e-6,
+    executor: Optional[SweepExecutor] = None,
+) -> NormalizedSweep:
+    if scale is None:
+        scale = full_scale()
+    points = run_sweep_ids(
+        scale, rtt=rtt, executor=executor, stage="Figure 10"
+    )
     return NormalizedSweep(points=points)
 
 
-def main(scale: Scale = None, rtt: float = 100e-6) -> NormalizedSweep:
-    sweep = run(scale, rtt=rtt)
+def main(
+    scale: Scale = None,
+    rtt: float = 100e-6,
+    executor: Optional[SweepExecutor] = None,
+) -> NormalizedSweep:
+    sweep = run(scale, rtt=rtt, executor=executor)
     dc = dict(sweep.normalized("DCTCP"))
     dt = dict(sweep.normalized("DT-DCTCP"))
     raw_dc = {p.n_flows: p.mean_queue for p in sweep.points["DCTCP"]}

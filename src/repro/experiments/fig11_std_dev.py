@@ -8,14 +8,16 @@ deviation is smaller than DCTCP's.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List
+from typing import Dict, List, Optional
 
+from repro.exec.cases import Case
+from repro.exec.executor import SweepExecutor
+from repro.experiments import queue_sweep
 from repro.experiments.config import Scale, full_scale
-from repro.experiments.protocols import dctcp_sim, dt_dctcp_sim
-from repro.experiments.queue_sweep import SweepPoint, run_sweep
+from repro.experiments.queue_sweep import SweepPoint, run_sweep_ids
 from repro.experiments.tables import print_table
 
-__all__ = ["StdDevSweep", "run", "main"]
+__all__ = ["StdDevSweep", "cases", "run_case", "run", "main"]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -39,16 +41,36 @@ class StdDevSweep:
         return pts[-1].std_queue > pts[0].std_queue
 
 
-def run(scale: Scale = None, rtt: float = 100e-6) -> StdDevSweep:
+def cases(scale: Scale = None, rtt: float = 100e-6) -> List[Case]:
+    """The sweep cells — shared verbatim with Figures 10 and 12."""
+    if scale is None:
+        scale = full_scale()
+    return queue_sweep.cases(scale, rtt=rtt)
+
+
+run_case = queue_sweep.run_case
+
+
+def run(
+    scale: Scale = None,
+    rtt: float = 100e-6,
+    executor: Optional[SweepExecutor] = None,
+) -> StdDevSweep:
     if scale is None:
         scale = full_scale()
     return StdDevSweep(
-        points=run_sweep([dctcp_sim(), dt_dctcp_sim()], scale, rtt=rtt)
+        points=run_sweep_ids(
+            scale, rtt=rtt, executor=executor, stage="Figure 11"
+        )
     )
 
 
-def main(scale: Scale = None, rtt: float = 100e-6) -> StdDevSweep:
-    sweep = run(scale, rtt=rtt)
+def main(
+    scale: Scale = None,
+    rtt: float = 100e-6,
+    executor: Optional[SweepExecutor] = None,
+) -> StdDevSweep:
+    sweep = run(scale, rtt=rtt, executor=executor)
     dc = sweep.points["DCTCP"]
     dt = sweep.points["DT-DCTCP"]
     rows = [

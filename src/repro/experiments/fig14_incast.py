@@ -16,17 +16,34 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.exec.cases import Case
+from repro.exec.executor import SweepExecutor, execute_cases
 from repro.experiments.config import Scale, full_scale
 from repro.experiments.protocols import (
     ProtocolConfig,
     dctcp_testbed,
     dt_dctcp_testbed,
+    protocol_by_id,
 )
 from repro.experiments.tables import print_table
 from repro.sim.apps.incast import FanInApp
 from repro.sim.topology import paper_testbed
 
-__all__ = ["IncastPoint", "IncastResult", "run_incast_point", "run", "main"]
+__all__ = [
+    "EXPERIMENT",
+    "IncastPoint",
+    "IncastResult",
+    "cases",
+    "run_case",
+    "run_incast_point",
+    "run",
+    "main",
+]
+
+EXPERIMENT = "repro.experiments.fig14_incast"
+
+#: The two testbed protocols swept in Figures 14-15, by registry id.
+TESTBED_PROTOCOL_IDS = ("dctcp-testbed", "dt-dctcp-testbed")
 
 KB = 1024
 
@@ -98,28 +115,74 @@ def run_incast_point(
     )
 
 
+def cases(
+    scale: Scale = None,
+    flow_counts: Sequence[int] = None,
+    bandwidth_bps: float = 1e9,
+) -> List[Case]:
+    """One :class:`Case` per (protocol, fan-out) incast cell."""
+    if scale is None:
+        scale = full_scale()
+    if flow_counts is None:
+        flow_counts = scale.incast_flows
+    return [
+        Case(
+            experiment=EXPERIMENT,
+            label=f"{pid}/flows={n}",
+            params={
+                "protocol": pid,
+                "n_flows": n,
+                "n_queries": scale.n_queries,
+                "response_bytes": 64 * KB,
+                "bandwidth_bps": bandwidth_bps,
+            },
+        )
+        for pid in TESTBED_PROTOCOL_IDS
+        for n in flow_counts
+    ]
+
+
+def run_case(case: Case) -> dict:
+    """Execute one incast cell; pure function of ``case.params``."""
+    p = case.params
+    point = run_incast_point(
+        protocol_by_id(p["protocol"]),
+        p["n_flows"],
+        p["n_queries"],
+        response_bytes=p["response_bytes"],
+        bandwidth_bps=p["bandwidth_bps"],
+    )
+    return dataclasses.asdict(point)
+
+
 def run(
     scale: Scale = None,
     flow_counts: Sequence[int] = None,
     bandwidth_bps: float = 1e9,
+    executor: Optional[SweepExecutor] = None,
 ) -> IncastResult:
     if scale is None:
         scale = full_scale()
     if flow_counts is None:
         flow_counts = scale.incast_flows
+    raw = execute_cases(
+        cases(scale, flow_counts, bandwidth_bps=bandwidth_bps),
+        executor,
+        stage="Figure 14",
+    )
+    all_points = [IncastPoint(**r) for r in raw]
     points: Dict[str, List[IncastPoint]] = {}
-    for protocol in (dctcp_testbed(), dt_dctcp_testbed()):
-        points[protocol.name] = [
-            run_incast_point(
-                protocol, n, scale.n_queries, bandwidth_bps=bandwidth_bps
-            )
-            for n in flow_counts
-        ]
+    per_protocol = len(flow_counts)
+    for i, _ in enumerate(TESTBED_PROTOCOL_IDS):
+        block = all_points[i * per_protocol : (i + 1) * per_protocol]
+        points[block[0].protocol] = block
     return IncastResult(points=points, line_rate_bps=bandwidth_bps)
 
 
-def main(scale: Scale = None) -> IncastResult:
-    result = run(scale)
+def main(
+    scale: Scale = None, executor: Optional[SweepExecutor] = None
+) -> IncastResult:
+    result = run(scale, executor=executor)
     dc = result.points["DCTCP"]
     dt = result.points["DT-DCTCP"]
     rows: List[Tuple[object, ...]] = [

@@ -14,14 +14,18 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, List, Optional, Sequence
 
+from repro.exec.cases import Case
+from repro.exec.executor import SweepExecutor, execute_cases
 from repro.experiments.config import Scale, full_scale
 from repro.experiments.protocols import (
     ProtocolConfig,
     dctcp_testbed,
     dt_dctcp_testbed,
+    protocol_by_id,
 )
 from repro.experiments.fig14_incast import (
     TESTBED_INITIAL_CWND,
+    TESTBED_PROTOCOL_IDS,
     TESTBED_START_JITTER,
 )
 from repro.experiments.tables import print_table
@@ -29,7 +33,18 @@ from repro.sim.apps.partition_aggregate import partition_aggregate_app
 from repro.sim.topology import paper_testbed
 from repro.stats import tail_latency
 
-__all__ = ["CompletionPoint", "CompletionResult", "run_completion_point", "run", "main"]
+__all__ = [
+    "EXPERIMENT",
+    "CompletionPoint",
+    "CompletionResult",
+    "cases",
+    "run_case",
+    "run_completion_point",
+    "run",
+    "main",
+]
+
+EXPERIMENT = "repro.experiments.fig15_completion_time"
 
 
 @dataclasses.dataclass(frozen=True)
@@ -94,31 +109,75 @@ def run_completion_point(
     )
 
 
+def cases(
+    scale: Scale = None,
+    flow_counts: Sequence[int] = None,
+    bandwidth_bps: float = 1e9,
+) -> List[Case]:
+    """One :class:`Case` per (protocol, fan-out) completion cell."""
+    if scale is None:
+        scale = full_scale()
+    if flow_counts is None:
+        flow_counts = scale.completion_flows
+    return [
+        Case(
+            experiment=EXPERIMENT,
+            label=f"{pid}/flows={n}",
+            params={
+                "protocol": pid,
+                "n_flows": n,
+                "n_queries": scale.n_queries,
+                "bandwidth_bps": bandwidth_bps,
+            },
+        )
+        for pid in TESTBED_PROTOCOL_IDS
+        for n in flow_counts
+    ]
+
+
+def run_case(case: Case) -> dict:
+    """Execute one completion cell; pure function of ``case.params``."""
+    p = case.params
+    point = run_completion_point(
+        protocol_by_id(p["protocol"]),
+        p["n_flows"],
+        p["n_queries"],
+        bandwidth_bps=p["bandwidth_bps"],
+    )
+    return dataclasses.asdict(point)
+
+
 def run(
     scale: Scale = None,
     flow_counts: Sequence[int] = None,
     bandwidth_bps: float = 1e9,
     total_bytes: int = 1024 * 1024,
+    executor: Optional[SweepExecutor] = None,
 ) -> CompletionResult:
     if scale is None:
         scale = full_scale()
     if flow_counts is None:
         flow_counts = scale.completion_flows
+    raw = execute_cases(
+        cases(scale, flow_counts, bandwidth_bps=bandwidth_bps),
+        executor,
+        stage="Figure 15",
+    )
+    all_points = [CompletionPoint(**r) for r in raw]
     points: Dict[str, List[CompletionPoint]] = {}
-    for protocol in (dctcp_testbed(), dt_dctcp_testbed()):
-        points[protocol.name] = [
-            run_completion_point(
-                protocol, n, scale.n_queries, bandwidth_bps=bandwidth_bps
-            )
-            for n in flow_counts
-        ]
+    per_protocol = len(flow_counts)
+    for i, _ in enumerate(TESTBED_PROTOCOL_IDS):
+        block = all_points[i * per_protocol : (i + 1) * per_protocol]
+        points[block[0].protocol] = block
     return CompletionResult(
         points=points, base_time=total_bytes * 8.0 / bandwidth_bps
     )
 
 
-def main(scale: Scale = None) -> CompletionResult:
-    result = run(scale)
+def main(
+    scale: Scale = None, executor: Optional[SweepExecutor] = None
+) -> CompletionResult:
+    result = run(scale, executor=executor)
     dc = result.points["DCTCP"]
     dt = result.points["DT-DCTCP"]
     rows = [

@@ -31,12 +31,14 @@ from repro.sim.packet import MSS_BYTES
 from repro.sim.tcp.sender import DctcpSender, EcnRenoSender, TcpSender
 
 __all__ = [
+    "PROTOCOL_REGISTRY",
     "ProtocolConfig",
     "dctcp_sim",
     "dt_dctcp_sim",
     "dctcp_testbed",
     "dt_dctcp_testbed",
     "ecn_red_baseline",
+    "protocol_by_id",
 ]
 
 KB = 1024
@@ -117,3 +119,31 @@ def ecn_red_baseline(
         marker_factory=lambda: REDMarker(min_th=min_th, max_th=max_th, max_p=max_p),
         sender_cls=EcnRenoSender,
     )
+
+
+#: Picklable protocol identifiers for the parallel executor.  A
+#: :class:`ProtocolConfig` holds a marker-factory closure and a sender
+#: class, neither of which travels across process boundaries; a sweep
+#: :class:`~repro.exec.cases.Case` therefore names its protocol by
+#: registry id and the worker rebuilds the config locally.  Only
+#: default-parameter configurations are registered — a custom-threshold
+#: sweep must keep using explicit configs (and sequential execution).
+PROTOCOL_REGISTRY = {
+    "dctcp-sim": dctcp_sim,
+    "dt-dctcp-sim": dt_dctcp_sim,
+    "dctcp-testbed": dctcp_testbed,
+    "dt-dctcp-testbed": dt_dctcp_testbed,
+    "red-ecn": ecn_red_baseline,
+}
+
+
+def protocol_by_id(protocol_id: str) -> ProtocolConfig:
+    """The default-parameter :class:`ProtocolConfig` for a registry id."""
+    try:
+        factory = PROTOCOL_REGISTRY[protocol_id]
+    except KeyError:
+        raise ValueError(
+            f"unknown protocol id {protocol_id!r}; choose from "
+            f"{sorted(PROTOCOL_REGISTRY)}"
+        ) from None
+    return factory()

@@ -11,20 +11,44 @@ N = 10..100 sweep into the minimum-window regime — the pipe holds only
 1-packet floor without inflating the queue (see EXPERIMENTS.md).  The
 runner therefore also supports a "deep pipe" variant (longer RTT) in
 which the whole sweep stays ECN-controlled; the benches report both.
+
+For the parallel executor the sweep is also exposed as a
+``cases()``/``run_case()`` pair: every (protocol, N) cell is one
+:class:`~repro.exec.cases.Case` carrying only JSON-serialisable
+parameters, and because all three figure modules emit *identical*
+cases, the result cache makes Figures 11 and 12 free once Figure 10
+has run.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
+from repro.exec.cases import Case
+from repro.exec.executor import SweepExecutor, execute_cases
 from repro.experiments.config import Scale
-from repro.experiments.protocols import ProtocolConfig
+from repro.experiments.protocols import ProtocolConfig, protocol_by_id
 from repro.sim.apps.bulk import launch_bulk_flows
 from repro.sim.topology import dumbbell
 from repro.sim.trace import AlphaMonitor, QueueMonitor
 
-__all__ = ["SweepPoint", "run_point", "run_sweep"]
+__all__ = [
+    "EXPERIMENT",
+    "SWEEP_PROTOCOL_IDS",
+    "SweepPoint",
+    "cases",
+    "run_case",
+    "run_point",
+    "run_sweep",
+    "run_sweep_ids",
+]
+
+#: Dotted module name workers import to execute one sweep cell.
+EXPERIMENT = "repro.experiments.queue_sweep"
+
+#: The two protocols of the Figures 10-12 sweep, by registry id.
+SWEEP_PROTOCOL_IDS = ("dctcp-sim", "dt-dctcp-sim")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -42,6 +66,48 @@ class SweepPoint:
     drops: int
 
 
+def _measure(
+    protocol: ProtocolConfig,
+    n_flows: int,
+    sim_duration: float,
+    warmup: float,
+    sample_interval: float,
+    bandwidth_bps: float,
+    rtt: float,
+) -> SweepPoint:
+    """One steady-state dumbbell measurement from explicit parameters."""
+    network = dumbbell(
+        n_flows, protocol.marker_factory, bandwidth_bps=bandwidth_bps, rtt=rtt
+    )
+    flows = launch_bulk_flows(network, sender_cls=protocol.sender_cls)
+    queue_monitor = QueueMonitor(
+        network.sim, network.bottleneck_queue, interval=sample_interval
+    )
+    queue_monitor.start()
+    alpha_monitor = AlphaMonitor(
+        network.sim,
+        [f.sender for f in flows],
+        interval=sample_interval * 10,
+    )
+    alpha_monitor.start()
+    network.sim.run(until=sim_duration)
+
+    queue = queue_monitor.series(after=warmup)
+    alphas = alpha_monitor.series(after=warmup)
+    delivered_packets = sum(f.receiver.packets_received for f in flows)
+    return SweepPoint(
+        protocol=protocol.name,
+        n_flows=n_flows,
+        mean_queue=float(queue.mean()),
+        std_queue=float(queue.std()),
+        mean_alpha=float(alphas.mean()) if len(alphas) else 0.0,
+        goodput_bps=delivered_packets * 1500 * 8.0 / sim_duration,
+        timeouts=sum(f.sender.timeouts for f in flows),
+        marks=network.bottleneck_queue.stats.marked,
+        drops=network.bottleneck_queue.stats.dropped,
+    )
+
+
 def run_point(
     protocol: ProtocolConfig,
     n_flows: int,
@@ -50,36 +116,82 @@ def run_point(
     rtt: float = 100e-6,
 ) -> SweepPoint:
     """One steady-state dumbbell measurement."""
-    network = dumbbell(
-        n_flows, protocol.marker_factory, bandwidth_bps=bandwidth_bps, rtt=rtt
+    return _measure(
+        protocol,
+        n_flows,
+        sim_duration=scale.sim_duration,
+        warmup=scale.warmup,
+        sample_interval=scale.sample_interval,
+        bandwidth_bps=bandwidth_bps,
+        rtt=rtt,
     )
-    flows = launch_bulk_flows(network, sender_cls=protocol.sender_cls)
-    queue_monitor = QueueMonitor(
-        network.sim, network.bottleneck_queue, interval=scale.sample_interval
-    )
-    queue_monitor.start()
-    alpha_monitor = AlphaMonitor(
-        network.sim,
-        [f.sender for f in flows],
-        interval=scale.sample_interval * 10,
-    )
-    alpha_monitor.start()
-    network.sim.run(until=scale.sim_duration)
 
-    queue = queue_monitor.series(after=scale.warmup)
-    alphas = alpha_monitor.series(after=scale.warmup)
-    delivered_packets = sum(f.receiver.packets_received for f in flows)
-    return SweepPoint(
-        protocol=protocol.name,
-        n_flows=n_flows,
-        mean_queue=float(queue.mean()),
-        std_queue=float(queue.std()),
-        mean_alpha=float(alphas.mean()) if len(alphas) else 0.0,
-        goodput_bps=delivered_packets * 1500 * 8.0 / scale.sim_duration,
-        timeouts=sum(f.sender.timeouts for f in flows),
-        marks=network.bottleneck_queue.stats.marked,
-        drops=network.bottleneck_queue.stats.dropped,
+
+def cases(
+    scale: Scale,
+    protocol_ids: Sequence[str] = SWEEP_PROTOCOL_IDS,
+    bandwidth_bps: float = 10e9,
+    rtt: float = 100e-6,
+) -> List[Case]:
+    """One :class:`Case` per (protocol, N) cell of the sweep."""
+    return [
+        Case(
+            experiment=EXPERIMENT,
+            label=f"{pid}/N={n}",
+            params={
+                "protocol": pid,
+                "n_flows": n,
+                "bandwidth_bps": bandwidth_bps,
+                "rtt": rtt,
+                "sim_duration": scale.sim_duration,
+                "warmup": scale.warmup,
+                "sample_interval": scale.sample_interval,
+            },
+        )
+        for pid in protocol_ids
+        for n in scale.flow_counts
+    ]
+
+
+def run_case(case: Case) -> dict:
+    """Execute one sweep cell; pure function of ``case.params``."""
+    p = case.params
+    point = _measure(
+        protocol_by_id(p["protocol"]),
+        n_flows=p["n_flows"],
+        sim_duration=p["sim_duration"],
+        warmup=p["warmup"],
+        sample_interval=p["sample_interval"],
+        bandwidth_bps=p["bandwidth_bps"],
+        rtt=p["rtt"],
     )
+    return dataclasses.asdict(point)
+
+
+def run_sweep_ids(
+    scale: Scale,
+    protocol_ids: Sequence[str] = SWEEP_PROTOCOL_IDS,
+    bandwidth_bps: float = 10e9,
+    rtt: float = 100e-6,
+    executor: Optional[SweepExecutor] = None,
+    stage: str = "queue sweep",
+) -> Dict[str, List[SweepPoint]]:
+    """The Figures 10-12 sweep, executor-ready.
+
+    Results are grouped per protocol display name in sweep order —
+    identical to :func:`run_sweep` whatever the worker count.
+    """
+    sweep_cases = cases(
+        scale, protocol_ids, bandwidth_bps=bandwidth_bps, rtt=rtt
+    )
+    raw = execute_cases(sweep_cases, executor, stage=stage)
+    points = [SweepPoint(**r) for r in raw]
+    per_protocol = len(scale.flow_counts)
+    results: Dict[str, List[SweepPoint]] = {}
+    for i, _ in enumerate(protocol_ids):
+        block = points[i * per_protocol : (i + 1) * per_protocol]
+        results[block[0].protocol] = block
+    return results
 
 
 def run_sweep(
@@ -88,7 +200,7 @@ def run_sweep(
     bandwidth_bps: float = 10e9,
     rtt: float = 100e-6,
 ) -> Dict[str, List[SweepPoint]]:
-    """The Figures 10-12 sweep: every protocol at every flow count."""
+    """Sequential sweep over explicit (possibly custom) protocol configs."""
     results: Dict[str, List[SweepPoint]] = {}
     for protocol in protocols:
         points = [

@@ -1,15 +1,22 @@
 """Run every experiment in sequence: ``python -m repro.experiments.runner``.
 
-Accepts ``--quick`` for the benchmark-scale sweeps.  Each experiment
-prints the table matching its paper figure; this module adds nothing but
-ordering and timing.
+Accepts ``--quick`` for the benchmark-scale sweeps, ``--jobs N`` to fan
+the sweep-shaped stages (Figures 1, 10-12, 14, 15 and the fluid
+validation) across worker processes, and ``--cache-dir``/``--no-cache``
+to control the on-disk result cache.  Results are deterministic: the
+tables are identical whatever the job count, and a warm-cache re-run
+skips the simulations entirely (the executor report at the end shows
+per-stage cache hits and timing).
 """
 
 from __future__ import annotations
 
 import argparse
 import time
+from pathlib import Path
+from typing import Optional
 
+from repro.exec import ResultCache, SweepExecutor, default_cache_dir
 from repro.experiments import (
     buffer_pressure,
     convergence,
@@ -36,22 +43,34 @@ from repro.experiments.config import full_scale, quick_scale
 __all__ = ["run_all", "main"]
 
 
-def run_all(quick: bool = False) -> None:
+def run_all(
+    quick: bool = False,
+    jobs: int = 1,
+    cache_dir: Optional[Path] = None,
+    use_cache: bool = True,
+) -> None:
     scale = quick_scale() if quick else full_scale()
+    cache = (
+        ResultCache(cache_dir if cache_dir is not None else default_cache_dir())
+        if use_cache
+        else None
+    )
+    executor = SweepExecutor(jobs=jobs, cache=cache)
+    ex = executor
     stages = [
-        ("Figure 1", lambda: fig01_oscillation.main(scale)),
+        ("Figure 1", lambda: fig01_oscillation.main(scale, executor=ex)),
         ("Figure 2", fig02_marking.main),
         ("Figure 4", fig04_criterion.main),
         ("Figures 6/8", fig06_08_df.main),
         ("Figure 7", fig07_nyquist_loci.main),
         ("Figure 9", fig09_critical_n.main),
-        ("Figure 10", lambda: fig10_avg_queue.main(scale)),
-        ("Figure 11", lambda: fig11_std_dev.main(scale)),
-        ("Figure 12", lambda: fig12_alpha.main(scale)),
+        ("Figure 10", lambda: fig10_avg_queue.main(scale, executor=ex)),
+        ("Figure 11", lambda: fig11_std_dev.main(scale, executor=ex)),
+        ("Figure 12", lambda: fig12_alpha.main(scale, executor=ex)),
         ("Figure 13", fig13_topology.main),
-        ("Figure 14", lambda: fig14_incast.main(scale)),
-        ("Figure 15", lambda: fig15_completion_time.main(scale)),
-        ("Fluid validation", lambda: fluid_validation.main(scale)),
+        ("Figure 14", lambda: fig14_incast.main(scale, executor=ex)),
+        ("Figure 15", lambda: fig15_completion_time.main(scale, executor=ex)),
+        ("Fluid validation", lambda: fluid_validation.main(scale, executor=ex)),
         ("Convergence & fairness", convergence.main),
         ("Queue buildup", queue_buildup.main),
         ("Buffer pressure", buffer_pressure.main),
@@ -64,6 +83,14 @@ def run_all(quick: bool = False) -> None:
         print(f"===== {name} " + "=" * max(0, 60 - len(name)))
         stage()
         print(f"[{name} finished in {time.time() - start:.1f}s]\n")
+    print(executor.report.render())
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {text}")
+    return value
 
 
 def main() -> None:
@@ -73,8 +100,30 @@ def main() -> None:
         action="store_true",
         help="benchmark-scale sweeps (seconds instead of minutes)",
     )
+    parser.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=1,
+        help="worker processes for the sweep-shaped stages (default 1)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help="result cache directory (default $REPRO_CACHE_DIR or .repro-cache)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="run every sweep cell even if a cached result exists",
+    )
     args = parser.parse_args()
-    run_all(quick=args.quick)
+    run_all(
+        quick=args.quick,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+    )
 
 
 if __name__ == "__main__":

@@ -118,9 +118,23 @@ class Simulator:
                 and self._now < until
                 and not self._stop_requested
             ):
-                self._now = until
+                # Fast-forward to `until` only when nothing remains
+                # before it.  If the event budget ran out with events
+                # still pending at t <= until, jumping the clock ahead
+                # would let the next run() pop those events and move
+                # time *backwards*.
+                next_time = self._next_pending_time()
+                if next_time is None or next_time > until:
+                    self._now = until
         finally:
             self._running = False
+
+    def _next_pending_time(self) -> Optional[float]:
+        """Timestamp of the earliest live event (pruning cancelled heads)."""
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            heapq.heappop(heap)
+        return heap[0][0] if heap else None
 
     def stop(self) -> None:
         """Request the current :meth:`run` to return after this event.

@@ -110,11 +110,20 @@ class FifoQueue:
         queue's direction.
         """
         occupancy = len(self._queue)
-        wants_mark = (
-            False
-            if self.mark_on_dequeue
-            else self.marker.should_mark(occupancy)
-        )
+        if self.mark_on_dequeue:
+            # The *decision* happens at departure, but stateful markers
+            # (DT-DCTCP's direction-tracking hysteresis) still have to
+            # see every arrival or they cannot track the queue's trend.
+            # Markers without an observe() hook get their should_mark()
+            # verdict computed and discarded instead.
+            observe = getattr(self.marker, "observe", None)
+            if observe is not None:
+                observe(occupancy)
+            else:
+                self.marker.should_mark(occupancy)
+            wants_mark = False
+        else:
+            wants_mark = self.marker.should_mark(occupancy)
         if self._bytes + packet.size_bytes > self.capacity_bytes:
             self.stats.dropped += 1
             return False

@@ -169,6 +169,40 @@ class TestREDMarker:
         m.reset()
         assert m.average_queue == 0.0
 
+    def test_reset_restores_rng_for_deterministic_replay(self):
+        """Regression: reset() cleared the EWMA but left the RNG
+        advanced, so a replayed queue saw a different mark sequence."""
+        m = REDMarker(min_th=5.0, max_th=15.0, max_p=0.5, weight=1.0)
+        first = [m.should_mark(10.0) for _ in range(100)]
+        m.reset()
+        replay = [m.should_mark(10.0) for _ in range(100)]
+        assert first == replay
+        assert any(first)  # the sequence actually exercised the dice
+        assert not all(first)
+
+    def test_reset_replay_with_explicit_rng(self):
+        m = REDMarker(
+            min_th=5.0, max_th=15.0, max_p=0.5, weight=1.0,
+            rng=random.Random(1234),
+        )
+        first = [m.should_mark(12.0) for _ in range(50)]
+        m.reset()
+        assert [m.should_mark(12.0) for _ in range(50)] == first
+
+    def test_rng_without_state_api_still_resets_average(self):
+        class StreamOnly:
+            def __init__(self):
+                self.calls = 0
+
+            def random(self):
+                self.calls += 1
+                return 0.99
+
+        m = REDMarker(min_th=5.0, max_th=15.0, weight=1.0, rng=StreamOnly())
+        m.should_mark(10.0)
+        m.reset()
+        assert m.average_queue == 0.0
+
     @pytest.mark.parametrize(
         "kwargs",
         [

@@ -1,0 +1,23 @@
+"""A minimal ``run_case`` target for executor tests.
+
+Computes a deterministic function of the parameters and, when asked,
+appends one line to a log file — an execution counter that works across
+process boundaries, so tests can tell a cache hit from a re-run.
+"""
+
+from __future__ import annotations
+
+import os
+
+
+EXPERIMENT = "tests.executor.stub_experiment"
+
+
+def run_case(case) -> dict:
+    params = case.params
+    if "log" in params:
+        with open(params["log"], "a", encoding="utf-8") as fh:
+            fh.write(f"{case.label} pid={os.getpid()}\n")
+    if params.get("explode"):
+        raise RuntimeError(f"boom: {case.label}")
+    return {"value": params["x"] * 2, "label": case.label}

@@ -1,0 +1,61 @@
+"""Unit tests for the on-disk result cache."""
+
+import json
+
+from repro.exec.cache import ResultCache, default_cache_dir
+from repro.exec.cases import Case, case_key
+from tests.executor.stub_experiment import EXPERIMENT
+
+
+def make_case(x=1):
+    return Case(experiment=EXPERIMENT, label=f"x={x}", params={"x": x})
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        case = make_case()
+        assert cache.get(case) is None
+        cache.put(case, {"value": 2})
+        assert cache.get(case) == {"value": 2}
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_different_params_do_not_alias(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(make_case(1), {"value": 2})
+        assert cache.get(make_case(2)) is None
+
+    def test_survives_reopen(self, tmp_path):
+        ResultCache(tmp_path).put(make_case(), {"value": 2})
+        assert ResultCache(tmp_path).get(make_case()) == {"value": 2}
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        case = make_case()
+        cache.put(case, {"value": 2})
+        path = cache._path(case_key(case))
+        path.write_text("{not json", encoding="utf-8")
+        assert cache.get(case) is None
+
+    def test_entry_records_provenance(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        case = make_case()
+        cache.put(case, {"value": 2})
+        payload = json.loads(
+            cache._path(case_key(case)).read_text(encoding="utf-8")
+        )
+        assert payload["experiment"] == EXPERIMENT
+        assert payload["label"] == case.label
+
+    def test_git_style_fanout_layout(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        case = make_case()
+        cache.put(case, {"value": 2})
+        key = case_key(case)
+        assert (tmp_path / key[:2] / f"{key}.json").exists()
+
+    def test_default_dir_env_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "c"))
+        assert default_cache_dir() == tmp_path / "c"
+        monkeypatch.delenv("REPRO_CACHE_DIR")
+        assert str(default_cache_dir()) == ".repro-cache"

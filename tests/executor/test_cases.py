@@ -1,0 +1,73 @@
+"""Unit tests for the Case model and the content-addressed key."""
+
+import pytest
+
+from repro.exec.cases import Case, case_key, execute_case
+from tests.executor.stub_experiment import EXPERIMENT
+
+
+def make_case(x=1, label="a", experiment=EXPERIMENT, **extra):
+    return Case(experiment=experiment, label=label, params={"x": x, **extra})
+
+
+class TestCase:
+    def test_params_must_be_json_serialisable(self):
+        with pytest.raises(ValueError):
+            Case(experiment=EXPERIMENT, label="bad", params={"x": object()})
+
+    def test_experiment_required(self):
+        with pytest.raises(ValueError):
+            Case(experiment="", label="x", params={})
+
+    def test_repr_names_experiment_and_label(self):
+        assert "stub_experiment" in repr(make_case())
+
+
+class TestCaseKey:
+    def test_stable_across_param_ordering(self):
+        a = Case(experiment=EXPERIMENT, label="", params={"x": 1, "y": 2})
+        b = Case(experiment=EXPERIMENT, label="", params={"y": 2, "x": 1})
+        assert case_key(a) == case_key(b)
+
+    def test_label_does_not_enter_key(self):
+        assert case_key(make_case(label="a")) == case_key(make_case(label="b"))
+
+    def test_params_enter_key(self):
+        assert case_key(make_case(x=1)) != case_key(make_case(x=2))
+
+    def test_experiment_enters_key(self):
+        other = Case(experiment="repro.experiments.queue_sweep",
+                     label="a", params={"x": 1})
+        assert case_key(make_case()) != case_key(other)
+
+    def test_key_is_hex_sha256(self):
+        key = case_key(make_case())
+        assert len(key) == 64
+        int(key, 16)  # raises if not hex
+
+    def test_shared_sweep_cells_across_figures(self):
+        """Figures 10, 11 and 12 must emit identical cases so the cache
+        runs the underlying sweep once for all three."""
+        from repro.experiments import (
+            fig10_avg_queue,
+            fig11_std_dev,
+            fig12_alpha,
+        )
+        from repro.experiments.config import quick_scale
+
+        scale = quick_scale()
+        keys10 = [case_key(c) for c in fig10_avg_queue.cases(scale)]
+        keys11 = [case_key(c) for c in fig11_std_dev.cases(scale)]
+        keys12 = [case_key(c) for c in fig12_alpha.cases(scale)]
+        assert keys10 == keys11 == keys12
+
+
+class TestExecuteCase:
+    def test_dispatches_to_module_run_case(self):
+        assert execute_case(make_case(x=21))["value"] == 42
+
+    def test_missing_run_case_rejected(self):
+        case = Case(experiment="repro.stats.timeseries", label="x",
+                    params={})
+        with pytest.raises(TypeError):
+            execute_case(case)

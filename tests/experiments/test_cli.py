@@ -64,3 +64,28 @@ class TestCommands:
     def test_unknown_figure_rejected(self, capsys):
         assert main(["figure", "99"]) == 2
         assert "unknown figure" in capsys.readouterr().err
+
+    def test_figure_parser_accepts_executor_flags(self):
+        args = build_parser().parse_args(
+            ["figure", "10", "--quick", "--jobs", "4",
+             "--cache-dir", "/tmp/x", "--no-cache"]
+        )
+        assert args.jobs == 4
+        assert str(args.cache_dir) == "/tmp/x"
+        assert args.no_cache
+
+    def test_scaled_figure_reports_cache_hits_on_rerun(self, tmp_path, capsys):
+        argv = ["figure", "1", "--quick", "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        cold = capsys.readouterr()
+        assert "queue oscillation" in cold.out
+        assert "Executor report" in cold.err
+
+        assert "0 cache hits" in cold.err
+
+        assert main(argv) == 0
+        warm = capsys.readouterr()
+        # Identical table, telemetry confirming the simulations were
+        # skipped the second time round.
+        assert warm.out == cold.out
+        assert "2 cache hits, 0 executed" in warm.err

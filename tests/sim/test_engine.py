@@ -97,6 +97,48 @@ class TestRunLimits:
         sim.run(max_events=50)
         assert sim.events_processed == 50
 
+    def test_budget_exhaustion_does_not_fast_forward_clock(self):
+        """Regression: run(until=..., max_events=...) used to jump the
+        clock to `until` even with events still pending before it, so
+        the next run() moved time backwards."""
+        sim = Simulator()
+        fired = []
+        for t in (1.0, 2.0, 3.0, 4.0, 5.0):
+            sim.schedule(t, fired.append, t)
+        sim.run(until=10.0, max_events=2)
+        assert fired == [1.0, 2.0]
+        assert sim.now == 2.0  # not 10.0: events at 3..5 still pending
+
+    def test_clock_monotone_across_budgeted_runs(self):
+        sim = Simulator()
+        times = []
+        for t in (1.0, 2.0, 3.0, 4.0, 5.0):
+            sim.schedule(t, lambda: times.append(sim.now))
+        sim.run(until=10.0, max_events=2)
+        sim.run(until=10.0)
+        assert times == sorted(times) == [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert sim.now == 10.0  # heap drained -> fast-forward is fine
+
+    def test_budget_exhaustion_with_only_later_events_fast_forwards(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, 1)
+        sim.schedule(20.0, fired.append, 2)
+        sim.run(until=10.0, max_events=1)
+        # The only remaining event lies beyond `until`, so advancing
+        # the clock cannot reorder anything.
+        assert fired == [1]
+        assert sim.now == 10.0
+
+    def test_cancelled_head_does_not_block_fast_forward(self):
+        sim = Simulator()
+        handle = sim.schedule(2.0, lambda: None)
+        sim.schedule(1.0, lambda: None)
+        handle.cancel()
+        sim.run(until=10.0, max_events=1)
+        # Only a cancelled entry remained before `until`.
+        assert sim.now == 10.0
+
     def test_run_is_not_reentrant(self):
         sim = Simulator()
         errors = []

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.marking import SingleThresholdMarker
+from repro.core.marking import DoubleThresholdMarker, REDMarker, SingleThresholdMarker
 from repro.sim.packet import Packet
 from repro.sim.queues import FifoQueue
 from repro.sim.tcp.flow import open_flow
@@ -105,6 +105,54 @@ class TestMarkOnDequeue:
             True, True, False, False,
         ]
         assert q.stats.marked == 2
+
+    def test_stateful_marker_observes_arrivals(self):
+        """Regression: in dequeue-marking mode the DT-DCTCP hysteresis
+        never saw the arrival process, so it could not know the queue
+        was *rising* when the departure decision fell inside the
+        [K1, K2) gap."""
+        q = FifoQueue(
+            1e6,
+            marker=DoubleThresholdMarker.from_thresholds(2, 4, deadband=0.0),
+            mark_on_dequeue=True,
+        )
+        for i in range(3):
+            q.enqueue(self.make_packet(i))
+        # The marker watched the queue rise 0 -> 1 -> 2 through K1.
+        assert q.marker.marking is True
+        out = q.dequeue()  # leaves 2 behind: in-gap, held ON -> marked
+        assert out.ce is True
+        assert q.stats.marked == 1
+
+    def test_unobserved_hysteresis_would_hold_off(self):
+        """The counterfactual to the regression above: a marker that
+        never saw the arrivals holds its initial OFF state at the same
+        in-gap occupancy."""
+        marker = DoubleThresholdMarker.from_thresholds(2, 4, deadband=0.0)
+        assert marker.should_mark(2) is False  # no direction history
+
+    def test_enqueue_marking_not_applied_in_dequeue_mode(self):
+        q = FifoQueue(
+            1e6,
+            marker=DoubleThresholdMarker.from_thresholds(2, 4, deadband=0.0),
+            mark_on_dequeue=True,
+        )
+        packets = [self.make_packet(i) for i in range(6)]
+        for p in packets:
+            q.enqueue(p)
+        # Arrivals are observed but never marked in dequeue mode.
+        assert not any(p.ce for p in packets)
+        assert q.stats.marked == 0
+
+    def test_markers_without_observe_fall_back_to_should_mark(self):
+        """RED has no observe() hook; its EWMA still follows arrivals
+        in dequeue-marking mode via a discarded should_mark() call."""
+        marker = REDMarker(min_th=2, max_th=50, max_p=1.0, weight=1.0)
+        q = FifoQueue(1e6, marker=marker, mark_on_dequeue=True)
+        for i in range(4):
+            q.enqueue(self.make_packet(i))
+        # weight=1.0 -> average tracks the last observed occupancy (3).
+        assert marker.average_queue == pytest.approx(3.0)
 
     def test_arrival_marking_unchanged_by_default(self):
         q = FifoQueue(1e6, marker=SingleThresholdMarker.from_threshold(2))

@@ -29,6 +29,21 @@ class TestTimeWeightedMean:
     def test_zero_span_falls_back_to_plain_mean(self):
         assert time_weighted_mean([1.0, 1.0], [2.0, 4.0]) == pytest.approx(3.0)
 
+    def test_zero_span_many_samples(self):
+        # A burst of events at one instant has no duration to weight
+        # by; the plain mean over all samples is the only sane answer.
+        t = [2.0, 2.0, 2.0, 2.0]
+        v = [1.0, 5.0, 6.0, 8.0]
+        assert time_weighted_mean(t, v) == pytest.approx(5.0)
+
+    def test_last_sample_never_contributes(self):
+        # ZOH convention: each value is held until the *next* timestamp,
+        # so the final sample has zero hold time whatever its value.
+        t = [0.0, 1.0, 3.0]
+        base = time_weighted_mean(t, [4.0, 10.0, 0.0])
+        assert base == pytest.approx((4.0 * 1 + 10.0 * 2) / 3)
+        assert time_weighted_mean(t, [4.0, 10.0, 1e9]) == pytest.approx(base)
+
     def test_length_mismatch_rejected(self):
         with pytest.raises(ValueError):
             time_weighted_mean([0.0, 1.0], [1.0])
@@ -53,6 +68,17 @@ class TestTimeWeightedStd:
         assert time_weighted_std(t, v) == pytest.approx(
             float(np.std(v[:-1])), rel=1e-6
         )
+
+    def test_zero_span_falls_back_to_plain_std(self):
+        t = [3.0, 3.0, 3.0]
+        v = [1.0, 3.0, 5.0]
+        assert time_weighted_std(t, v) == pytest.approx(float(np.std(v)))
+
+    def test_last_sample_never_contributes(self):
+        t = [0.0, 1.0, 2.0]
+        base = time_weighted_std(t, [2.0, 4.0, 0.0])
+        assert time_weighted_std(t, [2.0, 4.0, -7.5]) == pytest.approx(base)
+        assert base == pytest.approx(1.0)  # values 2 and 4, equal weight
 
     def test_hold_time_weighting(self):
         # 10 held 1s, 0 held 9s: mean 1, var = 1*(81)+9*(1) over 10 = 9.
@@ -137,3 +163,15 @@ class TestCrossings:
         v = [0, 10, 0, 10, 0]
         assert crossings(v, 5.0) == (2, 2)
         assert crossings(v, 50.0) == (0, 0)
+
+    def test_start_exactly_at_level_counts_as_above(self):
+        # v >= level is "above", so a series opening on the level only
+        # records a crossing when it actually leaves and returns.
+        assert crossings([1.0, 2.0, 0.0], 1.0) == (0, 1)
+        assert crossings([1.0, 0.0, 1.0], 1.0) == (1, 1)
+
+    def test_touching_level_from_below_is_an_upward_crossing(self):
+        assert crossings([0.0, 1.0, 0.0], 1.0) == (1, 1)
+
+    def test_constant_at_level_never_crosses(self):
+        assert crossings([1.0] * 5, 1.0) == (0, 0)
