@@ -8,14 +8,24 @@ Commands:
                   9, 10, 11, 12, 13, 14, 15) or ``all``;
 * ``simulate``  — one dumbbell run with chosen protocol and flow count,
                   printing queue statistics;
-* ``incast``    — one incast point on the testbed.
+* ``incast``    — one incast point on the testbed;
+* ``bench``     — the :mod:`repro.perf` benchmark suite (engine
+                  events/sec, link saturation, per-figure wall time),
+                  written to ``BENCH_PR2.json``.
+
+``figure`` and ``simulate`` accept ``--profile`` to wrap the run in
+cProfile (top-20 cumulative table on stderr, raw pstats via
+``--profile-out``).
 
 Examples::
 
     python -m repro.cli analyze --flows 55 --protocol dt-dctcp
     python -m repro.cli figure 14 --quick
+    python -m repro.cli figure 10 --quick --profile
     python -m repro.cli simulate --flows 20 --protocol dctcp --duration 0.03
     python -m repro.cli incast --flows 35 --protocol dctcp
+    python -m repro.cli bench --quick
+    python -m repro.cli bench --check BENCH_PR2.json --baseline old.json
 """
 
 from __future__ import annotations
@@ -103,7 +113,23 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def _maybe_profiled(args: argparse.Namespace):
+    """The profiling context for ``--profile`` runs, else a no-op."""
+    if getattr(args, "profile", False):
+        from repro.perf.profiling import profiled
+
+        return profiled(dump_path=getattr(args, "profile_out", None))
+    import contextlib
+
+    return contextlib.nullcontext()
+
+
 def cmd_figure(args: argparse.Namespace) -> int:
+    with _maybe_profiled(args):
+        return _run_figure(args)
+
+
+def _run_figure(args: argparse.Namespace) -> int:
     scale = quick_scale() if args.quick else full_scale()
     use_cache = not args.no_cache
     if args.id == "all":
@@ -146,6 +172,11 @@ def cmd_figure(args: argparse.Namespace) -> int:
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
+    with _maybe_profiled(args):
+        return _run_simulate(args)
+
+
+def _run_simulate(args: argparse.Namespace) -> int:
     from repro.sim.apps.bulk import launch_bulk_flows
     from repro.sim.topology import dumbbell
     from repro.sim.trace import QueueMonitor
@@ -199,6 +230,41 @@ def cmd_incast(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.perf import bench
+
+    if args.check is not None:
+        if args.baseline is None:
+            print("bench --check requires --baseline", file=sys.stderr)
+            return 2
+        with open(args.check) as fh:
+            current = json.load(fh)
+        with open(args.baseline) as fh:
+            baseline = json.load(fh)
+        reason = bench.check_regression(
+            current, baseline, tolerance=args.tolerance
+        )
+        if reason is not None:
+            print(f"FAIL: {reason}", file=sys.stderr)
+            return 1
+        print(
+            "ok: engine "
+            f"{current['engine']['events_per_sec']:,.0f} events/s vs "
+            f"baseline {baseline['engine']['events_per_sec']:,.0f} "
+            f"(tolerance {args.tolerance:.0%})"
+        )
+        return 0
+
+    with _maybe_profiled(args):
+        payload = bench.run_benchmarks(quick=args.quick)
+    bench.dump(payload, str(args.output))
+    print(bench.render_summary(payload))
+    print(f"written: {args.output}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -222,6 +288,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "(default $REPRO_CACHE_DIR or .repro-cache)")
     p.add_argument("--no-cache", action="store_true",
                    help="ignore and bypass the result cache")
+    _add_profile_args(p)
     p.set_defaults(func=cmd_figure)
 
     p = sub.add_parser("simulate", help="one dumbbell run")
@@ -230,6 +297,7 @@ def build_parser() -> argparse.ArgumentParser:
                    default="dctcp")
     p.add_argument("--duration", type=float, default=0.03)
     p.add_argument("--rtt", type=float, default=100e-6)
+    _add_profile_args(p)
     p.set_defaults(func=cmd_simulate)
 
     p = sub.add_parser("incast", help="one incast point on the testbed")
@@ -238,7 +306,30 @@ def build_parser() -> argparse.ArgumentParser:
                    default="dctcp")
     p.add_argument("--queries", type=int, default=10)
     p.set_defaults(func=cmd_incast)
+
+    p = sub.add_parser("bench", help="repro.perf benchmark suite")
+    p.add_argument("--quick", action="store_true",
+                   help="smaller sizes for the CI smoke job")
+    p.add_argument("--output", type=Path, default=Path("BENCH_PR2.json"),
+                   help="where to write the JSON payload")
+    p.add_argument("--check", type=Path, default=None, metavar="CURRENT",
+                   help="compare a payload against --baseline instead of "
+                        "running benchmarks")
+    p.add_argument("--baseline", type=Path, default=None,
+                   help="baseline payload for --check")
+    p.add_argument("--tolerance", type=float, default=0.30,
+                   help="allowed fractional engine events/sec regression")
+    _add_profile_args(p)
+    p.set_defaults(func=cmd_bench)
     return parser
+
+
+def _add_profile_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--profile", action="store_true",
+                   help="wrap the run in cProfile "
+                        "(top-20 cumulative table on stderr)")
+    p.add_argument("--profile-out", type=str, default=None, metavar="PATH",
+                   help="also dump raw pstats to PATH")
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:

@@ -1,0 +1,298 @@
+"""Calibrated benchmarks for the simulation hot path.
+
+Three layers, mirroring where the wall clock actually goes:
+
+* :func:`bench_engine` — raw event-loop dispatch (schedule + pop +
+  callback), no networking at all;
+* :func:`bench_link` — a single saturated interface in a closed loop,
+  run under both link models in the same process so the busy-until
+  speedup is measured against the two-event reference on identical
+  hardware and interpreter state;
+* :func:`bench_figures` — representative experiment cells end to end
+  (Figure 1 oscillation, a Figures 10-12 sweep cell, an incast point),
+  the macro numbers the ROADMAP's "as fast as the hardware allows"
+  cares about.
+
+:func:`run_benchmarks` bundles everything into one JSON-serialisable
+payload (written to ``BENCH_PR2.json`` by the CLI) and
+:func:`check_regression` compares two such payloads for the CI smoke
+job.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from typing import Any, Dict, Optional
+
+from repro.sim.engine import Simulator
+from repro.sim.link import Interface, link_model
+from repro.sim.packet import Packet, packet_pool_size
+from repro.sim.queues import FifoQueue
+
+__all__ = [
+    "bench_engine",
+    "bench_link",
+    "bench_packet_pool",
+    "bench_figures",
+    "run_benchmarks",
+    "check_regression",
+]
+
+
+def bench_engine(n_events: int = 300_000, n_tickers: int = 64) -> Dict[str, Any]:
+    """Pure event-loop throughput: self-rescheduling ticker callbacks.
+
+    ``n_tickers`` concurrent tickers keep the heap at a realistic depth
+    (a dumbbell run holds tens of pending events, not one).
+    """
+    sim = Simulator()
+    remaining = n_events
+
+    def tick(period: float) -> None:
+        nonlocal remaining
+        remaining -= 1
+        if remaining > 0:
+            sim.schedule(period, tick, period)
+        else:
+            sim.stop()
+
+    for i in range(n_tickers):
+        # Irregular periods so heap order actually gets exercised.
+        sim.schedule(0.0, tick, 1e-6 * (1.0 + i / n_tickers))
+    start = time.perf_counter()
+    sim.run()
+    elapsed = time.perf_counter() - start
+    return {
+        "n_events": sim.events_processed,
+        "n_tickers": n_tickers,
+        "wall_s": elapsed,
+        "events_per_sec": sim.events_processed / elapsed,
+    }
+
+
+class _Blaster:
+    """Closed-loop traffic source: every delivery triggers the next send.
+
+    Stands in for the far-end node of the benchmarked interface, keeping
+    its queue at a constant depth (``window``) so the transmitter never
+    idles — the saturated regime where per-packet event cost dominates.
+    A fixed ring of packets recirculates, so fixture allocation cost is
+    identical (and negligible) under both link models.
+    """
+
+    def __init__(self, iface: Interface, n_packets: int, window: int):
+        self.iface = iface
+        self.n_packets = n_packets
+        self.window = window
+        self.sent = 0
+        self.received = 0
+
+    def kickoff(self) -> None:
+        for i in range(min(self.window, self.n_packets)):
+            self.sent += 1
+            self.iface.send(
+                Packet(flow_id=0, src=0, dst=1, seq=i, size_bytes=1500)
+            )
+
+    def receive(self, packet: Packet) -> None:
+        self.received += 1
+        if self.sent < self.n_packets:
+            self.sent += 1
+            self.iface.send(packet)
+
+
+def _bench_link_once(model: str, n_packets: int, window: int) -> Dict[str, Any]:
+    with link_model(model):
+        sim = Simulator()
+        iface = Interface(
+            sim,
+            bandwidth_bps=10e9,
+            prop_delay=25e-6,
+            queue=FifoQueue(16e6, name="bench"),
+            name="bench",
+        )
+        blaster = _Blaster(iface, n_packets, window)
+        iface.connect(blaster)  # type: ignore[arg-type]  # only .receive is used
+        sim.schedule(0.0, blaster.kickoff)
+        start = time.perf_counter()
+        sim.run()
+        elapsed = time.perf_counter() - start
+    return {
+        "model": model,
+        "n_packets": blaster.received,
+        "window": window,
+        "wall_s": elapsed,
+        "events_processed": sim.events_processed,
+        "packets_per_sec": blaster.received / elapsed,
+        "events_per_sec": sim.events_processed / elapsed,
+    }
+
+
+def bench_link(
+    n_packets: int = 100_000, window: int = 32, repeats: int = 3
+) -> Dict[str, Any]:
+    """Saturated single-interface throughput under both link models.
+
+    The headline ``speedup`` is simulated packets per wall second,
+    busy-until over two-event — the honest metric, since the fast lane's
+    point is fewer heap events for the *same* simulated traffic.  Runs
+    are interleaved and the best of ``repeats`` kept per model, the
+    standard defence against scheduler noise.
+    """
+    # One throwaway warmup per model so neither benefits from cache
+    # warmth ordering.
+    _bench_link_once("two-event", n_packets // 10, window)
+    _bench_link_once("busy-until", n_packets // 10, window)
+    reference: Dict[str, Any] = {}
+    fast: Dict[str, Any] = {}
+    for _ in range(repeats):
+        ref_run = _bench_link_once("two-event", n_packets, window)
+        fast_run = _bench_link_once("busy-until", n_packets, window)
+        if not reference or ref_run["wall_s"] < reference["wall_s"]:
+            reference = ref_run
+        if not fast or fast_run["wall_s"] < fast["wall_s"]:
+            fast = fast_run
+    return {
+        "busy_until": fast,
+        "two_event": reference,
+        "speedup": fast["packets_per_sec"] / reference["packets_per_sec"],
+        "event_ratio": (
+            reference["events_processed"] / fast["events_processed"]
+        ),
+    }
+
+
+def bench_packet_pool(n: int = 200_000) -> Dict[str, Any]:
+    """Allocator churn: pooled acquire/recycle vs plain construction."""
+    start = time.perf_counter()
+    for i in range(n):
+        Packet(flow_id=0, src=0, dst=1, seq=i, size_bytes=1500)
+    fresh = time.perf_counter() - start
+
+    start = time.perf_counter()
+    for i in range(n):
+        Packet.acquire(flow_id=0, src=0, dst=1, seq=i, size_bytes=1500).recycle()
+    pooled = time.perf_counter() - start
+    return {
+        "n": n,
+        "constructor_s": fresh,
+        "pooled_s": pooled,
+        "speedup": fresh / pooled,
+        "pool_size": packet_pool_size(),
+    }
+
+
+def bench_figures(quick: bool = True) -> Dict[str, Any]:
+    """Wall time of representative experiment cells, end to end."""
+    from repro.exec.cases import Case, execute_case
+
+    duration = 0.004 if quick else 0.02
+    cells = {
+        "fig01_oscillation": Case(
+            "repro.experiments.fig01_oscillation",
+            "bench",
+            {
+                "protocol": "dctcp-sim",
+                "n_flows": 2,
+                "sim_duration": duration,
+                "warmup": duration / 4,
+                "sample_interval": 20e-6,
+            },
+        ),
+        "queue_sweep": Case(
+            "repro.experiments.queue_sweep",
+            "bench",
+            {
+                "protocol": "dctcp-sim",
+                "n_flows": 10 if quick else 30,
+                "sim_duration": duration,
+                "warmup": duration / 4,
+                "sample_interval": 20e-6,
+                "bandwidth_bps": 10e9,
+                "rtt": 100e-6,
+            },
+        ),
+        "fig14_incast": Case(
+            "repro.experiments.fig14_incast",
+            "bench",
+            {
+                "protocol": "dctcp-testbed",
+                "n_flows": 6,
+                "n_queries": 1 if quick else 5,
+                "response_bytes": 64 * 1024,
+                "bandwidth_bps": 1e9,
+            },
+        ),
+    }
+    results: Dict[str, Any] = {}
+    for name, case in cells.items():
+        start = time.perf_counter()
+        execute_case(case)
+        results[name] = {"wall_s": time.perf_counter() - start}
+    return results
+
+
+def run_benchmarks(quick: bool = False) -> Dict[str, Any]:
+    """The full suite; ``quick`` shrinks sizes for the CI smoke job."""
+    scale = 10 if quick else 1
+    payload: Dict[str, Any] = {
+        "schema": "repro-bench-v1",
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "engine": bench_engine(n_events=300_000 // scale),
+        "link": bench_link(n_packets=100_000 // scale),
+        "packet_pool": bench_packet_pool(n=200_000 // scale),
+        "figures": bench_figures(quick=quick),
+    }
+    return payload
+
+
+def check_regression(
+    current: Dict[str, Any],
+    baseline: Dict[str, Any],
+    tolerance: float = 0.30,
+) -> Optional[str]:
+    """None if ``current`` holds up against ``baseline``, else a reason.
+
+    Only the engine events/sec gate is enforced (the CI contract);
+    everything else in the payload is trajectory data.
+    """
+    cur = current["engine"]["events_per_sec"]
+    base = baseline["engine"]["events_per_sec"]
+    floor = base * (1.0 - tolerance)
+    if cur < floor:
+        return (
+            f"engine events/sec regressed: {cur:,.0f} < {floor:,.0f} "
+            f"(baseline {base:,.0f}, tolerance {tolerance:.0%})"
+        )
+    return None
+
+
+def render_summary(payload: Dict[str, Any]) -> str:
+    """Human-readable digest of a benchmark payload."""
+    lines = [
+        f"engine   : {payload['engine']['events_per_sec']:>12,.0f} events/s",
+        (
+            f"link     : {payload['link']['busy_until']['packets_per_sec']:>12,.0f}"
+            f" pkts/s busy-until vs "
+            f"{payload['link']['two_event']['packets_per_sec']:,.0f} two-event "
+            f"(speedup {payload['link']['speedup']:.2f}x, "
+            f"{payload['link']['event_ratio']:.2f}x fewer events)"
+        ),
+        (
+            f"pool     : {payload['packet_pool']['speedup']:.2f}x vs "
+            f"constructor over {payload['packet_pool']['n']:,} packets"
+        ),
+    ]
+    for name, cell in payload["figures"].items():
+        lines.append(f"figure   : {name:<20} {cell['wall_s']:.3f}s")
+    return "\n".join(lines)
+
+
+def dump(payload: Dict[str, Any], path: str) -> None:
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")

@@ -1,0 +1,49 @@
+"""cProfile wrapper behind the CLI's ``--profile`` flag.
+
+Usage::
+
+    with profiled(dump_path="fig10.pstats"):
+        module.main(scale)
+
+prints the top-20 cumulative-time table to stderr on exit (stdout is
+reserved for the experiment tables, which must stay byte-identical),
+and optionally dumps the raw pstats file for ``snakeviz``-style
+digging.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+import sys
+from contextlib import contextmanager
+from typing import IO, Iterator, Optional
+
+__all__ = ["profiled"]
+
+
+@contextmanager
+def profiled(
+    dump_path: Optional[str] = None,
+    limit: int = 20,
+    sort: str = "cumulative",
+    stream: Optional[IO[str]] = None,
+) -> Iterator[cProfile.Profile]:
+    """Profile the enclosed block; report on exit.
+
+    The report always lands on ``stream`` (default stderr), never
+    stdout.  ``dump_path`` additionally saves the raw profile for
+    offline analysis.
+    """
+    out = stream if stream is not None else sys.stderr
+    profile = cProfile.Profile()
+    profile.enable()
+    try:
+        yield profile
+    finally:
+        profile.disable()
+        if dump_path is not None:
+            profile.dump_stats(dump_path)
+            print(f"[profile] raw pstats written to {dump_path}", file=out)
+        stats = pstats.Stats(profile, stream=out)
+        stats.sort_stats(sort).print_stats(limit)

@@ -146,7 +146,14 @@ class Simulator:
         self._stop_requested = True
 
     def reset(self) -> None:
-        """Drop all pending events and rewind the clock to zero."""
+        """Drop all pending events and rewind the clock to zero.
+
+        The tie-break sequence counter rewinds too: a reset simulator
+        schedules events with the same ``(time, sequence)`` keys as a
+        freshly constructed one, so an in-process replay is
+        indistinguishable from a fresh process.
+        """
         self._heap.clear()
         self._now = 0.0
         self._events_processed = 0
+        self._sequence = itertools.count()

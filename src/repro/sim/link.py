@@ -6,15 +6,55 @@ interface's queue discipline, are serialised at the configured bandwidth
 (one packet at a time, store-and-forward), then propagate for the fixed
 delay and arrive at the peer node.
 
-The transmitter models the usual DES pattern: if idle, a dequeued packet
-occupies it for ``size * 8 / bandwidth`` seconds; on completion the next
-queued packet (if any) starts immediately.  Queue occupancy therefore
-counts *waiting* packets only, not the one on the wire — consistent with
-how ns-2's queue length (and hence DCTCP's ``K``) is measured.
+The transmitter models the usual DES pattern — if idle, a dequeued
+packet occupies it for ``size * 8 / bandwidth`` seconds; on completion
+the next queued packet (if any) starts immediately.  Queue occupancy
+therefore counts *waiting* packets only, not the one on the wire —
+consistent with how ns-2's queue length (and hence DCTCP's ``K``) is
+measured.
+
+Two interchangeable implementations of that model exist:
+
+* ``"busy-until"`` (the default): an htsim-style busy-until
+  transmitter.  The interface tracks ``busy_until`` and, at admission,
+  computes the packet's delivery time directly as
+  ``max(now, busy_until) + tx_time + prop_delay``.  Deliveries ride one
+  *rolling* event per interface: the in-flight packets sit in a FIFO
+  and each delivery reschedules the event for the next one, so the heap
+  sees one push per packet per hop instead of two.  The dequeue that
+  the eager schedule performs at each transmission start is deferred
+  and replayed — stamped with its true start time — the moment anyone
+  observes the queue (see ``drain_hook`` in
+  :class:`~repro.sim.queues.FifoQueue`).
+
+  Equivalence with the reference is exact, including the heap's
+  FIFO-of-ties ordering, because every scheduling decision lands at the
+  same simulated moment the eager schedule would make it: a busy
+  period's first packet schedules the rolling event during the very
+  admission call that would have dequeued it eagerly, successors are
+  rescheduled while earlier packets of the same chain deliver, and
+  deferred dequeues replay strictly *before* the current instant —
+  an eager dequeue at time ``t`` runs inside a tx-done event scheduled
+  only one serialisation time earlier, which at a tied timestamp fires
+  *after* arrivals and samples whose events were scheduled a
+  propagation delay (or a full sample interval) before ``t``.
+* ``"two-event"``: the reference implementation with an explicit
+  tx-done event between transmission and propagation.  Kept as the
+  oracle the differential tests compare against, and used automatically
+  for queues whose semantics act at the dequeue *instant*
+  (``mark_on_dequeue`` departure marking, shared buffer pools) where
+  deferral would change cross-queue or marker observation order.
+
+Select globally with :func:`set_default_link_model` / the
+``REPRO_LINK_MODEL`` environment variable, per interface via the
+constructor, or temporarily with the :func:`link_model` context manager.
 """
 
 from __future__ import annotations
 
+import os
+from collections import deque
+from contextlib import contextmanager
 from typing import Optional, TYPE_CHECKING
 
 from repro.sim.packet import Packet
@@ -24,7 +64,42 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.sim.engine import Simulator
     from repro.sim.node import Node
 
-__all__ = ["Interface"]
+__all__ = [
+    "Interface",
+    "LINK_MODELS",
+    "default_link_model",
+    "set_default_link_model",
+    "link_model",
+]
+
+#: The busy-until fast lane and the eager two-event reference oracle.
+LINK_MODELS = ("busy-until", "two-event")
+
+_default_model = os.environ.get("REPRO_LINK_MODEL", "busy-until")
+
+
+def default_link_model() -> str:
+    """The model new interfaces use when none is passed explicitly."""
+    return _default_model
+
+
+def set_default_link_model(model: str) -> None:
+    """Set the process-wide default link model."""
+    if model not in LINK_MODELS:
+        raise ValueError(f"unknown link model {model!r}; choose from {LINK_MODELS}")
+    global _default_model
+    _default_model = model
+
+
+@contextmanager
+def link_model(model: str):
+    """Temporarily switch the default model (differential tests)."""
+    previous = _default_model
+    set_default_link_model(model)
+    try:
+        yield
+    finally:
+        set_default_link_model(previous)
 
 
 class Interface:
@@ -37,7 +112,12 @@ class Interface:
         "queue",
         "name",
         "peer",
+        "model",
         "_transmitting",
+        "_busy_until",
+        "_tx_starts",
+        "_in_flight",
+        "_draining",
         "packets_delivered",
         "tap",
     )
@@ -49,18 +129,36 @@ class Interface:
         prop_delay: float,
         queue: FifoQueue,
         name: str = "",
+        model: Optional[str] = None,
     ):
         if bandwidth_bps <= 0:
             raise ValueError(f"bandwidth_bps must be positive, got {bandwidth_bps}")
         if prop_delay < 0:
             raise ValueError(f"prop_delay must be >= 0, got {prop_delay}")
+        if model is None:
+            model = _default_model
+        if model not in LINK_MODELS:
+            raise ValueError(
+                f"unknown link model {model!r}; choose from {LINK_MODELS}"
+            )
         self.sim = sim
         self.bandwidth_bps = bandwidth_bps
         self.prop_delay = prop_delay
         self.queue = queue
         self.name = name
         self.peer: Optional["Node"] = None
+        self.model = model
         self._transmitting = False
+        #: Busy-until state: when the transmitter frees up (-inf = never
+        #: used, so a send at t=0 still counts as a strictly idle start),
+        #: the FIFO of deferred transmission-start times of packets still
+        #: counted as queue occupancy, and the FIFO of in-flight packets
+        #: (stamped with ``deliver_at``) the rolling delivery event
+        #: works through.
+        self._busy_until = float("-inf")
+        self._tx_starts: deque = deque()
+        self._in_flight: deque = deque()
+        self._draining = False
         self.packets_delivered = 0
         #: Optional observer called with (time, packet, interface) at the
         #: instant of delivery; see :class:`repro.sim.packet_log.PacketLogger`.
@@ -76,13 +174,123 @@ class Interface:
 
     @property
     def busy(self) -> bool:
-        """True while a packet occupies the transmitter."""
-        return self._transmitting
+        """True while a packet occupies the transmitter.
+
+        At the exact instant a transmission ends the busy-until lane
+        answers True, matching what the eager schedule tells callers
+        whose events were scheduled before the pending tx-done fires
+        (arrivals and samples always are; see the module docstring).
+        """
+        if self.model == "two-event":
+            return self._transmitting
+        self._drain()
+        return self.sim.now <= self._busy_until
 
     def send(self, packet: Packet) -> bool:
-        """Queue ``packet`` for transmission; False if the queue dropped it."""
+        """Queue ``packet`` for transmission; False if the queue dropped it.
+
+        The busy-until fast lane is inlined here (it is the hottest
+        function in the simulator; a per-packet method call is
+        measurable).
+        """
         if self.peer is None:
             raise RuntimeError(f"interface {self.name!r} is not connected")
+        if self.model == "busy-until":
+            queue = self.queue
+            if (queue.mark_on_dequeue or queue.pool is not None) and (
+                not self._tx_starts
+                and not self._in_flight
+                and self.sim.now >= self._busy_until
+            ):
+                # Dequeue-instant semantics (departure marking, shared
+                # buffer admission) need the exact eager schedule; fall
+                # back to it while the transmitter is idle.  Queues are
+                # configured/swapped before traffic, so the downgrade
+                # happens on the very first packet.
+                self.model = "two-event"
+                if queue.drain_hook is self._drain:
+                    queue.drain_hook = None
+                return self._send_two_event(packet)
+            # -------- busy-until fast lane: one event per packet ------
+            if queue.drain_hook is not self._drain:
+                queue.drain_hook = self._drain
+            # ``sim._now`` read directly: the ``now`` property costs a
+            # descriptor call per packet on the hottest line in the
+            # simulator (link and engine are one subsystem).
+            now = self.sim._now
+            starts = self._tx_starts
+            if starts and starts[0] < now:
+                # Deferred dequeues must replay before the marking
+                # decision inside enqueue() observes the occupancy —
+                # only then does it see exactly what the eager schedule
+                # would.
+                self._drain()
+            if not queue.enqueue(packet):
+                return False
+            prev_busy = self._busy_until
+            start = prev_busy if prev_busy > now else now
+            # Direct sums keep the float association identical to the
+            # reference schedule — (start + tx) + prop, never rebased
+            # on ``now`` — so delivery times match the oracle bit for
+            # bit.
+            tx_end = start + packet.size_bytes * 8.0 / self.bandwidth_bps
+            self._busy_until = tx_end
+            if prev_busy < now:
+                # Strictly idle transmitter: the eager schedule dequeues
+                # synchronously inside send(); do the same.  (All
+                # earlier tx starts were < now, so the pre-drain above
+                # replayed them and this packet is the queue head.)
+                # When prev_busy == now the eager tx-done is still
+                # pending at this instant and the dequeue stays
+                # deferred.
+                queue.dequeue(at_time=now)
+            else:
+                self._tx_starts.append(start)
+            packet.deliver_at = tx_end + self.prop_delay
+            in_flight = self._in_flight
+            in_flight.append(packet)
+            if len(in_flight) == 1:
+                # The rolling event is (re)armed either here — during
+                # the admission call, exactly when the eager schedule
+                # arms a busy period's first tx-done — or in
+                # _deliver_next while a predecessor delivers.
+                self.sim.schedule_at(packet.deliver_at, self._deliver_next)
+            return True
+        return self._send_two_event(packet)
+
+    def _drain(self) -> None:
+        """Replay deferred dequeues whose transmission has started.
+
+        Strictly before ``now``: an eager dequeue at time ``t`` rides a
+        tx-done event scheduled at ``t - tx_time``, which at a tied
+        timestamp fires after the arrival/sample events that observe the
+        queue here (their events were scheduled at least a propagation
+        delay earlier).
+        """
+        starts = self._tx_starts
+        if not starts or self._draining:
+            return
+        now = self.sim._now
+        if starts[0] >= now:
+            return
+        self._draining = True
+        try:
+            dequeue = self.queue.dequeue
+            while starts and starts[0] < now:
+                start = starts.popleft()
+                if dequeue(at_time=start) is None:
+                    # The queue was emptied externally (reset); the
+                    # deferred schedule is void.
+                    starts.clear()
+                    break
+        finally:
+            self._draining = False
+
+    # ------------------------------------------------------------------
+    # Two-event reference oracle: tx-done + delivery per packet.
+    # ------------------------------------------------------------------
+
+    def _send_two_event(self, packet: Packet) -> bool:
         admitted = self.queue.enqueue(packet)
         if admitted and not self._transmitting:
             self._start_next()
@@ -99,6 +307,30 @@ class Interface:
     def _on_tx_done(self, packet: Packet) -> None:
         self.sim.schedule(self.prop_delay, self._deliver, packet)
         self._start_next()
+
+    # ------------------------------------------------------------------
+    # Delivery (both models)
+    # ------------------------------------------------------------------
+
+    def _deliver_next(self) -> None:
+        """Rolling busy-until delivery: hand over the oldest in-flight
+        packet, then re-arm for the next one."""
+        in_flight = self._in_flight
+        packet = in_flight.popleft()
+        if in_flight:
+            # Re-armed while the predecessor delivers — one heap push
+            # per packet, at a moment that precedes (hence orders before)
+            # any event the delivery below may schedule at a tied time.
+            self.sim.schedule_at(in_flight[0].deliver_at, self._deliver_next)
+        if self._tx_starts:
+            # This packet's own deferred dequeue (and any earlier one)
+            # must land before the peer sees it — its CE bits and the
+            # queue statistics are final at this point.
+            self._drain()
+        self.packets_delivered += 1
+        if self.tap is not None:
+            self.tap(self.sim.now, packet, self)
+        self.peer.receive(packet)
 
     def _deliver(self, packet: Packet) -> None:
         self.packets_delivered += 1

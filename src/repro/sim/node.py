@@ -86,6 +86,10 @@ class Host(Node):
             endpoint.on_packet(packet)
         # Unknown flows (late retransmits after teardown) are dropped
         # silently, like segments to a closed port.
+        # Either way the packet is consumed here: endpoints never retain
+        # the object (sequence numbers and flags are copied out), so a
+        # pooled packet goes straight back to the free list.
+        packet.recycle()
 
 
 class Switch(Node):

@@ -18,12 +18,27 @@ switches treat non-ECT traffic short of overflow.
 Capacity is enforced in bytes (the paper's switches are sized in KB:
 128 KB marking ports, 512 KB DropTail ports); an arriving packet that
 does not fit is dropped and counted.
+
+Deferred service (the busy-until fast lane)
+-------------------------------------------
+
+A busy-until :class:`~repro.sim.link.Interface` dequeues packets
+*lazily*: instead of an event at every transmission boundary, it
+installs :attr:`drain_hook` and performs all dequeues whose start time
+has passed the moment anyone looks at the queue.  Every observable entry
+point (``enqueue``, ``dequeue``, occupancy, ``stats``) runs the hook
+first, so external observers always see exactly the state the eager
+two-event schedule would have produced, while the hot path pays one heap
+event per packet instead of two.  ``dequeue(at_time=...)`` lets the
+draining interface stamp each deferred dequeue with its true
+transmission-start time (used by the event-exact
+:class:`~repro.sim.trace.TrackedFifoQueue`).
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Optional, TYPE_CHECKING
+from typing import Callable, Deque, Optional, TYPE_CHECKING
 
 from repro.core.marking import Marker, NullMarker
 from repro.sim.packet import Packet
@@ -80,25 +95,44 @@ class FifoQueue:
         #: Optional shared-memory pool this port draws from; see
         #: :mod:`repro.sim.buffer_pool`.
         self.pool = pool
+        #: Deferred-service hook installed by a busy-until
+        #: :class:`~repro.sim.link.Interface`: called before any
+        #: observation so lazily deferred dequeues are applied first.
+        self.drain_hook: Optional[Callable[[], None]] = None
         self._queue: Deque[Packet] = deque()
         self._bytes = 0
-        self.stats = QueueStats()
+        self._stats = QueueStats()
+
+    def _service(self) -> None:
+        hook = self.drain_hook
+        if hook is not None:
+            hook()
+
+    @property
+    def stats(self) -> QueueStats:
+        """Cumulative counters, current as of the simulated instant."""
+        self._service()
+        return self._stats
 
     def __len__(self) -> int:
+        self._service()
         return len(self._queue)
 
     @property
     def len_packets(self) -> int:
         """Instantaneous occupancy in packets (the marking variable)."""
+        self._service()
         return len(self._queue)
 
     @property
     def len_bytes(self) -> int:
         """Instantaneous occupancy in bytes (the drop variable)."""
+        self._service()
         return self._bytes
 
     @property
     def is_empty(self) -> bool:
+        self._service()
         return not self._queue
 
     def enqueue(self, packet: Packet) -> bool:
@@ -108,6 +142,11 @@ class FifoQueue:
         subsequently dropped — because stateful markers (DT-DCTCP's
         hysteresis) must observe the full arrival process to track the
         queue's direction.
+
+        Callers must have replayed any deferred dequeues first (the
+        interface's send() fast lane does this inline); the marking
+        decision below observes raw occupancy.  The only enqueue caller
+        in the tree is :meth:`repro.sim.link.Interface.send`.
         """
         occupancy = len(self._queue)
         if self.mark_on_dequeue:
@@ -125,24 +164,38 @@ class FifoQueue:
         else:
             wants_mark = self.marker.should_mark(occupancy)
         if self._bytes + packet.size_bytes > self.capacity_bytes:
-            self.stats.dropped += 1
+            self._stats.dropped += 1
             return False
         if self.pool is not None and not self.pool.admit(
             self._bytes, packet.size_bytes
         ):
-            self.stats.dropped += 1
+            self._stats.dropped += 1
             return False
         if wants_mark and packet.ecn_capable:
             packet.ce = True
-            self.stats.marked += 1
+            self._stats.marked += 1
         self._queue.append(packet)
         self._bytes += packet.size_bytes
-        self.stats.enqueued += 1
-        self.stats.bytes_in += packet.size_bytes
+        self._stats.enqueued += 1
+        self._stats.bytes_in += packet.size_bytes
         return True
 
-    def dequeue(self) -> Optional[Packet]:
-        """Remove and return the head packet, or None when empty."""
+    def dequeue(self, at_time: Optional[float] = None) -> Optional[Packet]:
+        """Remove and return the head packet, or None when empty.
+
+        ``at_time`` is the simulated instant the dequeue semantically
+        happens at — passed by a busy-until interface replaying deferred
+        transmission starts, ``None`` (meaning "now") for eager callers.
+        The base queue ignores it; time-stamping subclasses
+        (:class:`~repro.sim.trace.TrackedFifoQueue`) record it.
+        """
+        if at_time is None:
+            # Eager caller: deferred dequeues must replay first.  Replay
+            # calls themselves (at_time set) come *from* the drain hook's
+            # owner, which already holds the ordering invariant.
+            hook = self.drain_hook  # inlined _service(): hot path
+            if hook is not None:
+                hook()
         if not self._queue:
             return None
         packet = self._queue.popleft()
@@ -154,9 +207,9 @@ class FifoQueue:
             # packet just waited through.
             if self.marker.should_mark(len(self._queue)) and packet.ecn_capable:
                 packet.ce = True
-                self.stats.marked += 1
-        self.stats.dequeued += 1
-        self.stats.bytes_out += packet.size_bytes
+                self._stats.marked += 1
+        self._stats.dequeued += 1
+        self._stats.bytes_out += packet.size_bytes
         return packet
 
     def reset(self) -> None:
@@ -166,7 +219,7 @@ class FifoQueue:
         self._queue.clear()
         self._bytes = 0
         self.marker.reset()
-        self.stats = QueueStats()
+        self._stats = QueueStats()
 
     def __repr__(self) -> str:
         return (

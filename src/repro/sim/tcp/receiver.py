@@ -131,7 +131,9 @@ class TcpReceiver:
             self._delack_timer = None
 
     def _emit_ack(self, ece: bool, covered: int) -> None:
-        ack = Packet(
+        # Pooled like data segments: the sending host's endpoint consumes
+        # the ACK and the host recycles it (see Packet.acquire).
+        ack = Packet.acquire(
             flow_id=self.flow_id,
             src=self.host.node_id,
             dst=self.peer_node_id,

@@ -168,7 +168,10 @@ class TcpSender:
         self._arm_rto()
 
     def _transmit(self, seq: int, retransmit: bool) -> None:
-        packet = Packet(
+        # Pool-backed allocation: the receiving host recycles the packet
+        # once its endpoint has consumed it, so steady-state traffic
+        # cycles a short free list instead of hitting the allocator.
+        packet = Packet.acquire(
             flow_id=self.flow_id,
             src=self.host.node_id,
             dst=self.peer_node_id,

@@ -26,6 +26,7 @@ from repro.core.marking import Marker, NullMarker
 from repro.sim.engine import Simulator
 from repro.sim.link import Interface
 from repro.sim.node import Host, Node, Switch
+from repro.sim.packet import reset_packet_uids
 from repro.sim.queues import FifoQueue
 from repro.sim.routing import populate_routes
 
@@ -44,6 +45,10 @@ class Network:
 
     def __init__(self, sim: Optional[Simulator] = None):
         self.sim = sim if sim is not None else Simulator()
+        # Fresh packet-uid epoch per network: a scenario's uids depend
+        # only on the scenario, never on earlier runs in this process,
+        # so in-process replays reproduce fresh-process logs exactly.
+        reset_packet_uids()
         self.nodes: List[Node] = []
         #: (a_id, b_id) pairs, one per full-duplex link (both orders kept).
         self.adjacency: List[Tuple[int, int]] = []

@@ -85,9 +85,9 @@ class TrackedFifoQueue(FifoQueue):
         self.event_times: List[float] = [sim.now]
         self.event_lengths: List[int] = [0]
 
-    def _record(self) -> None:
-        self.event_times.append(self._sim.now)
-        self.event_lengths.append(self.len_packets)
+    def _record(self, at_time=None) -> None:
+        self.event_times.append(self._sim.now if at_time is None else at_time)
+        self.event_lengths.append(len(self._queue))
 
     def enqueue(self, packet) -> bool:
         admitted = super().enqueue(packet)
@@ -96,10 +96,14 @@ class TrackedFifoQueue(FifoQueue):
         self._record()
         return admitted
 
-    def dequeue(self):
-        packet = super().dequeue()
+    def dequeue(self, at_time=None):
+        # A busy-until interface replays deferred dequeues with their
+        # true transmission-start time; record that instant, not the
+        # (possibly later) moment of observation, so the event-exact
+        # series matches the eager two-event schedule sample for sample.
+        packet = super().dequeue(at_time)
         if packet is not None:
-            self._record()
+            self._record(at_time)
         return packet
 
     def time_weighted_mean(self, after: float = 0.0) -> float:

@@ -1,0 +1,98 @@
+"""Property-based tests for the Packet free-list pool.
+
+The pooling contract (ISSUE 2): a recycled-then-reacquired packet is
+indistinguishable from a freshly constructed one — every field,
+including the mutable per-trip state (``ce``, ``ece``, ``sack_blocks``,
+``sent_at``), re-initialised exactly as ``__init__`` would, with a
+fresh ``uid``.  Directly constructed packets are never pooled, and a
+double recycle must not corrupt the free list.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.packet import Packet, packet_pool_size
+
+FIELDS = [s for s in Packet.__slots__ if s != "uid"]
+
+packet_args = st.fixed_dictionaries(
+    {
+        "flow_id": st.integers(min_value=0, max_value=1000),
+        "src": st.integers(min_value=0, max_value=64),
+        "dst": st.integers(min_value=0, max_value=64),
+        "seq": st.integers(min_value=-1, max_value=10**6),
+        "size_bytes": st.integers(min_value=40, max_value=9000),
+        "is_ack": st.booleans(),
+        "ack_seq": st.integers(min_value=-1, max_value=10**6),
+        "ecn_capable": st.booleans(),
+    }
+)
+
+
+def _dirty(packet: Packet) -> None:
+    """Simulate a full trip through the network: mutate per-trip state."""
+    packet.ce = True
+    packet.ece = True
+    packet.sent_at = 123.456
+    packet.is_retransmit = True
+    packet.delayed_ack_count = 7
+    packet.sack_blocks = ((3, 9), (12, 14))
+    packet.deliver_at = 99.0
+
+
+@given(args=packet_args)
+@settings(max_examples=200)
+def test_recycled_packet_reinitialised_exactly(args):
+    first = Packet.acquire(**args)
+    first_uid = first.uid
+    _dirty(first)
+    first.recycle()
+
+    reacquired = Packet.acquire(**args)
+    fresh = Packet(**args)
+    try:
+        for field in FIELDS:
+            if field == "pooled":
+                continue  # ownership flag: True on acquire, False on init
+            assert getattr(reacquired, field) == getattr(fresh, field), field
+        assert reacquired.pooled and not fresh.pooled
+        # uid keeps counting, never repeats.
+        assert reacquired.uid != first_uid
+        assert fresh.uid == reacquired.uid + 1
+    finally:
+        reacquired.recycle()
+
+
+@given(args=packet_args)
+@settings(max_examples=50)
+def test_acquire_reuses_the_recycled_object(args):
+    packet = Packet.acquire(**args)
+    packet.recycle()
+    assert Packet.acquire(**args) is packet
+    packet.recycle()
+
+
+@given(args=packet_args)
+@settings(max_examples=50)
+def test_double_recycle_is_inert(args):
+    packet = Packet.acquire(**args)
+    packet.recycle()
+    size_after_first = packet_pool_size()
+    packet.recycle()
+    assert packet_pool_size() == size_after_first
+    # The free list must not hand the same object out twice.
+    a = Packet.acquire(**args)
+    b = Packet.acquire(**args)
+    assert a is not b
+    a.recycle()
+    b.recycle()
+
+
+@given(args=packet_args)
+@settings(max_examples=50)
+def test_directly_constructed_packets_never_pooled(args):
+    packet = Packet(**args)
+    before = packet_pool_size()
+    packet.recycle()
+    assert packet_pool_size() == before
+    assert not packet.pooled

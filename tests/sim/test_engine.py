@@ -198,6 +198,18 @@ class TestReset:
         assert sim.pending_events == 0
         assert sim.events_processed == 0
 
+    def test_reset_rewinds_tie_break_sequence(self):
+        """After reset the first scheduled event gets sequence 0 again,
+        so in-process replays break timestamp ties exactly like a fresh
+        process (the replay-determinism contract)."""
+        sim = Simulator()
+        for _ in range(5):
+            sim.schedule(1.0, lambda: None)
+        sim.run()
+        sim.reset()
+        sim.schedule(1.0, lambda: None)
+        assert sim._heap[0][1] == 0
+
 
 class TestDeterminism:
     def test_identical_runs_produce_identical_traces(self):

@@ -1,12 +1,22 @@
-"""Unit tests for interfaces (queue + transmitter + propagation)."""
+"""Unit tests for interfaces (queue + transmitter + propagation).
+
+Every behavioural test runs under both link models — the busy-until
+fast lane and the two-event reference oracle — via the ``model``
+fixture; the two implementations must be observably identical.
+"""
 
 import pytest
 
 from repro.sim.engine import Simulator
-from repro.sim.link import Interface
+from repro.sim.link import LINK_MODELS, Interface, link_model
 from repro.sim.node import Node
 from repro.sim.packet import Packet
 from repro.sim.queues import FifoQueue
+
+
+@pytest.fixture(params=LINK_MODELS)
+def model(request):
+    return request.param
 
 
 class Sink(Node):
@@ -20,9 +30,9 @@ class Sink(Node):
         self.received.append((self.sim.now, packet))
 
 
-def make_iface(sim, bw=1e9, delay=10e-6, capacity=1_000_000):
+def make_iface(sim, bw=1e9, delay=10e-6, capacity=1_000_000, model=None):
     sink = Sink(sim)
-    iface = Interface(sim, bw, delay, FifoQueue(capacity), name="test")
+    iface = Interface(sim, bw, delay, FifoQueue(capacity), name="test", model=model)
     iface.connect(sink)
     return iface, sink
 
@@ -32,9 +42,9 @@ def data_packet(seq=0, size=1500):
 
 
 class TestTransmission:
-    def test_delivery_time_is_serialization_plus_propagation(self):
+    def test_delivery_time_is_serialization_plus_propagation(self, model):
         sim = Simulator()
-        iface, sink = make_iface(sim, bw=1e9, delay=10e-6)
+        iface, sink = make_iface(sim, bw=1e9, delay=10e-6, model=model)
         iface.send(data_packet())
         sim.run()
         expected = 1500 * 8 / 1e9 + 10e-6
@@ -47,9 +57,9 @@ class TestTransmission:
             1000 * 8 / 2e9
         )
 
-    def test_back_to_back_packets_serialize(self):
+    def test_back_to_back_packets_serialize(self, model):
         sim = Simulator()
-        iface, sink = make_iface(sim, bw=1e9, delay=0.0)
+        iface, sink = make_iface(sim, bw=1e9, delay=0.0, model=model)
         for i in range(3):
             iface.send(data_packet(seq=i))
         sim.run()
@@ -57,29 +67,29 @@ class TestTransmission:
         tx = 1500 * 8 / 1e9
         assert times == pytest.approx([tx, 2 * tx, 3 * tx])
 
-    def test_fifo_delivery_order(self):
+    def test_fifo_delivery_order(self, model):
         sim = Simulator()
-        iface, sink = make_iface(sim)
+        iface, sink = make_iface(sim, model=model)
         for i in range(10):
             iface.send(data_packet(seq=i))
         sim.run()
         assert [p.seq for _, p in sink.received] == list(range(10))
 
-    def test_busy_flag_during_transmission(self):
+    def test_busy_flag_during_transmission(self, model):
         sim = Simulator()
-        iface, _ = make_iface(sim)
+        iface, _ = make_iface(sim, model=model)
         assert not iface.busy
         iface.send(data_packet())
         assert iface.busy
         sim.run()
         assert not iface.busy
 
-    def test_pipelining_overlaps_propagation(self):
+    def test_pipelining_overlaps_propagation(self, model):
         """With large propagation delay, packet 2 transmits while packet
         1 is still in flight: delivery spacing equals tx time, not
         tx + prop."""
         sim = Simulator()
-        iface, sink = make_iface(sim, bw=1e9, delay=1e-3)
+        iface, sink = make_iface(sim, bw=1e9, delay=1e-3, model=model)
         iface.send(data_packet(seq=0))
         iface.send(data_packet(seq=1))
         sim.run()
@@ -88,22 +98,58 @@ class TestTransmission:
 
 
 class TestDropsAndCounters:
-    def test_overflow_dropped_and_reported(self):
+    def test_overflow_dropped_and_reported(self, model):
         sim = Simulator()
-        iface, sink = make_iface(sim, capacity=3000)
+        iface, sink = make_iface(sim, capacity=3000, model=model)
         results = [iface.send(data_packet(seq=i)) for i in range(4)]
         sim.run()
         # One in the transmitter + two queued fit; the 4th drops.
         assert results == [True, True, True, False]
         assert len(sink.received) == 3
 
-    def test_packets_delivered_counter(self):
+    def test_packets_delivered_counter(self, model):
         sim = Simulator()
-        iface, _ = make_iface(sim)
+        iface, _ = make_iface(sim, model=model)
         for i in range(5):
             iface.send(data_packet(seq=i))
         sim.run()
         assert iface.packets_delivered == 5
+
+
+class TestModelSelection:
+    def test_default_model_context_manager(self):
+        with link_model("two-event"):
+            iface = Interface(Simulator(), 1e9, 1e-6, FifoQueue(1000))
+            assert iface.model == "two-event"
+        with link_model("busy-until"):
+            iface = Interface(Simulator(), 1e9, 1e-6, FifoQueue(1000))
+            assert iface.model == "busy-until"
+
+    def test_explicit_model_overrides_default(self):
+        with link_model("busy-until"):
+            iface = Interface(
+                Simulator(), 1e9, 1e-6, FifoQueue(1000), model="two-event"
+            )
+            assert iface.model == "two-event"
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError):
+            Interface(Simulator(), 1e9, 1e-6, FifoQueue(1000), model="bogus")
+        with pytest.raises(ValueError):
+            with link_model("bogus"):
+                pass  # pragma: no cover
+
+    def test_dequeue_marking_queue_downgrades_to_two_event(self):
+        """Queues with dequeue-instant semantics force the reference
+        schedule; the downgrade happens on the first send."""
+        sim = Simulator()
+        queue = FifoQueue(1_000_000)
+        queue.mark_on_dequeue = True
+        iface = Interface(sim, 1e9, 10e-6, queue, model="busy-until")
+        iface.connect(Sink(sim))
+        iface.send(data_packet())
+        assert iface.model == "two-event"
+        sim.run()
 
 
 class TestValidation:
