@@ -11,7 +11,7 @@ Commands:
 * ``incast``    — one incast point on the testbed;
 * ``bench``     — the :mod:`repro.perf` benchmark suite (engine
                   events/sec, link saturation, per-figure wall time),
-                  written to ``BENCH_PR2.json``.
+                  written to ``BENCH_PR4.json``.
 
 ``figure`` and ``simulate`` accept ``--profile`` to wrap the run in
 cProfile (top-20 cumulative table on stderr, raw pstats via
@@ -25,7 +25,7 @@ Examples::
     python -m repro.cli simulate --flows 20 --protocol dctcp --duration 0.03
     python -m repro.cli incast --flows 35 --protocol dctcp
     python -m repro.cli bench --quick
-    python -m repro.cli bench --check BENCH_PR2.json --baseline old.json
+    python -m repro.cli bench --check BENCH_PR4.json --baseline old.json
 """
 
 from __future__ import annotations
@@ -310,7 +310,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("bench", help="repro.perf benchmark suite")
     p.add_argument("--quick", action="store_true",
                    help="smaller sizes for the CI smoke job")
-    p.add_argument("--output", type=Path, default=Path("BENCH_PR2.json"),
+    p.add_argument("--output", type=Path, default=Path("BENCH_PR4.json"),
                    help="where to write the JSON payload")
     p.add_argument("--check", type=Path, default=None, metavar="CURRENT",
                    help="compare a payload against --baseline instead of "

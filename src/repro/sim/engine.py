@@ -9,15 +9,72 @@ keeps every experiment in this repository exactly reproducible.
 Cancellation is O(1) lazy deletion: :meth:`EventHandle.cancel` flags the
 entry and the loop skips it when popped (the standard heapq idiom).
 Retransmission timers cancel and re-arm constantly, so this matters.
+
+Handle pooling
+--------------
+
+Every event costs one :class:`EventHandle` allocation; a long sweep
+schedules tens of millions.  Spent handles therefore go back on a
+process-wide free list (mirroring :meth:`repro.sim.packet.Packet.acquire`
+and ``recycle``) and :meth:`Simulator.schedule_at` reuses them instead of
+allocating.  Reclamation is *safe by construction*: after a handle fires
+or its cancelled entry is popped, the loop recycles it only when
+``sys.getrefcount`` proves the kernel holds the sole remaining
+reference.  A handle the caller kept (a pending retransmission timer, a
+test asserting on ``cancelled``) is never pooled, so the documented
+"``cancel`` after the event fired is a no-op" contract survives pooling
+verbatim — a retained handle can never be resurrected under a new event.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
+import math
+import sys
 from typing import Any, Callable, List, Optional, Tuple
 
-__all__ = ["EventHandle", "Simulator"]
+__all__ = [
+    "EventHandle",
+    "Simulator",
+    "handle_pool_size",
+    "handle_pool_limit",
+    "set_handle_pool_limit",
+]
+
+_heappush = heapq.heappush
+_heappop = heapq.heappop
+_isfinite = math.isfinite
+
+#: LIFO free list of spent handles, shared by every simulator in the
+#: process (simulations are single-threaded; sweeps parallelise across
+#: worker *processes*).
+_free_list: List["EventHandle"] = []
+#: Free-list cap: deeper than any realistic heap's churn, small enough
+#: that a burst does not pin memory forever.
+_MAX_POOL = 4096
+
+
+def handle_pool_size() -> int:
+    """Handles currently parked on the free list (tests/benchmarks)."""
+    return len(_free_list)
+
+
+def handle_pool_limit() -> int:
+    """Current free-list capacity."""
+    return _MAX_POOL
+
+
+def set_handle_pool_limit(limit: int) -> None:
+    """Resize the free-list cap (0 disables pooling); trims any excess.
+
+    Exists for the ``repro.perf`` pool-ablation benchmark and for tests;
+    simulations never need to touch it.
+    """
+    if limit < 0:
+        raise ValueError(f"pool limit must be >= 0, got {limit}")
+    global _MAX_POOL
+    _MAX_POOL = limit
+    del _free_list[limit:]
 
 
 class EventHandle:
@@ -39,6 +96,37 @@ class EventHandle:
         state = "cancelled" if self.cancelled else "pending"
         return f"EventHandle(t={self.time:.9f}, {state})"
 
+    @classmethod
+    def acquire(
+        cls, time: float, callback: Callable[..., None], args: Tuple
+    ) -> "EventHandle":
+        """A pool-backed handle, field-identical to a fresh one.
+
+        :meth:`Simulator.schedule_at` inlines this logic on its hot path;
+        the classmethod exists for benchmarks and any out-of-kernel user.
+        """
+        if _free_list:
+            handle = _free_list.pop()
+            handle.time = time
+            handle.callback = callback
+            handle.args = args
+            handle.cancelled = False
+            return handle
+        return cls(time, callback, args)
+
+    def recycle(self) -> None:
+        """Return a spent handle to the free list.
+
+        Callers must guarantee no other reference to the handle exists;
+        the kernel itself proves that with ``sys.getrefcount`` before
+        recycling (see :meth:`Simulator.run`).
+        """
+        if len(_free_list) < _MAX_POOL:
+            # Drop callback/args so a parked handle pins nothing.
+            self.callback = None  # type: ignore[assignment]
+            self.args = ()
+            _free_list.append(self)
+
 
 class Simulator:
     """Deterministic discrete-event scheduler with a simulated clock."""
@@ -46,7 +134,11 @@ class Simulator:
     def __init__(self) -> None:
         self._now = 0.0
         self._heap: List[Tuple[float, int, EventHandle]] = []
-        self._sequence = itertools.count()
+        #: Plain int tie-break counter (an ``itertools.count`` costs a
+        #: C call per event; ``+= 1`` on an int is cheaper and rewinds
+        #: trivially on :meth:`reset`).  Doubles as the count of every
+        #: heap push ever made (see :attr:`events_scheduled`).
+        self._sequence = 0
         self._events_processed = 0
         self._running = False
         self._stop_requested = False
@@ -62,6 +154,12 @@ class Simulator:
         return self._events_processed
 
     @property
+    def events_scheduled(self) -> int:
+        """Total heap pushes ever made — the heap-churn observable the
+        timer/link benchmarks report alongside events processed."""
+        return self._sequence
+
+    @property
     def pending_events(self) -> int:
         """Heap entries outstanding, including cancelled ones."""
         return len(self._heap)
@@ -72,18 +170,39 @@ class Simulator:
         """Run ``callback(*args)`` after ``delay`` seconds of simulated time."""
         if delay < 0:
             raise ValueError(f"cannot schedule into the past: delay={delay}")
+        # NaN and +inf delays fall through to schedule_at's finiteness
+        # check (NaN compares false against everything, so the guard
+        # above cannot catch it).
         return self.schedule_at(self._now + delay, callback, *args)
 
     def schedule_at(
         self, time: float, callback: Callable[..., None], *args: Any
     ) -> EventHandle:
         """Run ``callback(*args)`` at absolute simulated ``time``."""
-        if time < self._now:
+        if not (self._now <= time) or not _isfinite(time):
+            # One branch on the hot path: the chained comparison is only
+            # false for past times and NaN; isfinite only re-checked to
+            # reject +inf (and classify the error).
+            if not _isfinite(time):
+                raise ValueError(
+                    f"cannot schedule at a non-finite time: t={time}"
+                )
             raise ValueError(
                 f"cannot schedule into the past: t={time} < now={self._now}"
             )
-        handle = EventHandle(time, callback, args)
-        heapq.heappush(self._heap, (time, next(self._sequence), handle))
+        if _free_list:
+            # Inlined EventHandle.acquire: this is one of the two hottest
+            # call sites in the simulator.
+            handle = _free_list.pop()
+            handle.time = time
+            handle.callback = callback
+            handle.args = args
+            handle.cancelled = False
+        else:
+            handle = EventHandle(time, callback, args)
+        seq = self._sequence
+        self._sequence = seq + 1
+        _heappush(self._heap, (time, seq, handle))
         return handle
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
@@ -102,17 +221,36 @@ class Simulator:
         try:
             budget = max_events if max_events is not None else float("inf")
             heap = self._heap
+            heappop = _heappop
+            getrefcount = sys.getrefcount
+            pool = _free_list
             while heap and budget > 0 and not self._stop_requested:
                 time, _, handle = heap[0]
                 if until is not None and time > until:
                     break
-                heapq.heappop(heap)
+                # The popped entry tuple dies immediately (its return
+                # value is discarded and the unpack above read heap[0]),
+                # so after this line the local is the kernel's only
+                # reference to an otherwise-unretained handle.
+                heappop(heap)
                 if handle.cancelled:
+                    if getrefcount(handle) == 2 and len(pool) < _MAX_POOL:
+                        handle.callback = None
+                        handle.args = ()
+                        pool.append(handle)
                     continue
                 self._now = time
                 self._events_processed += 1
                 budget -= 1
                 handle.callback(*handle.args)
+                # Recycle only when the kernel provably holds the sole
+                # reference (the local + getrefcount's argument): a
+                # handle retained by its scheduler is left alone, so a
+                # late cancel() can never touch a reused object.
+                if getrefcount(handle) == 2 and len(pool) < _MAX_POOL:
+                    handle.callback = None
+                    handle.args = ()
+                    pool.append(handle)
             if (
                 until is not None
                 and self._now < until
@@ -133,7 +271,12 @@ class Simulator:
         """Timestamp of the earliest live event (pruning cancelled heads)."""
         heap = self._heap
         while heap and heap[0][2].cancelled:
-            heapq.heappop(heap)
+            _, _, handle = heap[0]
+            _heappop(heap)
+            if sys.getrefcount(handle) == 2 and len(_free_list) < _MAX_POOL:
+                handle.callback = None  # type: ignore[assignment]
+                handle.args = ()
+                _free_list.append(handle)
         return heap[0][0] if heap else None
 
     def stop(self) -> None:
@@ -151,9 +294,10 @@ class Simulator:
         The tie-break sequence counter rewinds too: a reset simulator
         schedules events with the same ``(time, sequence)`` keys as a
         freshly constructed one, so an in-process replay is
-        indistinguishable from a fresh process.
+        indistinguishable from a fresh process.  Pending handles are
+        discarded, not pooled — their schedulers may still hold them.
         """
         self._heap.clear()
         self._now = 0.0
         self._events_processed = 0
-        self._sequence = itertools.count()
+        self._sequence = 0

@@ -10,7 +10,11 @@ from repro.sim.tcp.sender import (
     DctcpSender,
     EcnRenoSender,
     RenoSender,
+    TIMER_MODELS,
     TcpSender,
+    default_timer_model,
+    set_default_timer_model,
+    timer_model,
 )
 
 __all__ = [
@@ -23,7 +27,11 @@ __all__ = [
     "IntervalSet",
     "RenoSender",
     "RttEstimator",
+    "TIMER_MODELS",
     "TcpReceiver",
     "TcpSender",
+    "default_timer_model",
     "open_flow",
+    "set_default_timer_model",
+    "timer_model",
 ]

@@ -22,6 +22,8 @@ number of packets in flight is bounded by its floor.
 
 from __future__ import annotations
 
+import os
+from contextlib import contextmanager
 from typing import Callable, Dict, Optional, TYPE_CHECKING
 
 from repro.sim.packet import MSS_BYTES, Packet
@@ -32,10 +34,62 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.engine import Simulator
     from repro.sim.node import Host
 
-__all__ = ["TcpSender", "RenoSender", "EcnRenoSender", "DctcpSender"]
+__all__ = [
+    "TcpSender",
+    "RenoSender",
+    "EcnRenoSender",
+    "DctcpSender",
+    "TIMER_MODELS",
+    "default_timer_model",
+    "set_default_timer_model",
+    "timer_model",
+]
 
 #: Conventional "infinite" slow-start threshold.
 INITIAL_SSTHRESH = 1e9
+
+#: The soft-deadline fast lane and the eager cancel-per-ACK oracle.
+#:
+#: Every ACK slides the retransmission deadline forward.  The *eager*
+#: model realises that literally — cancel the pending timer event and
+#: push a fresh one per ACK — which costs one heap push per delivered
+#: segment and litters the heap with cancelled entries.  The
+#: *soft-deadline* model (default) keeps at most one armed event and a
+#: logical ``_rto_deadline`` field: ACKs only move the field, and when
+#: the event fires early it re-arms for the remainder via
+#: ``schedule_at(deadline)``.  Both models execute the timeout at the
+#: identical simulated instant (the deadline is an absolute time, not a
+#: sum of remainders), so retransmission traces match bit for bit —
+#: enforced by ``tests/sim/test_timer_model_differential.py``.
+TIMER_MODELS = ("soft-deadline", "eager")
+
+_default_timer_model = os.environ.get("REPRO_TIMER_MODEL", "soft-deadline")
+
+
+def default_timer_model() -> str:
+    """The RTO timer model new senders use unless told otherwise."""
+    return _default_timer_model
+
+
+def set_default_timer_model(model: str) -> None:
+    """Set the process-wide default RTO timer model."""
+    if model not in TIMER_MODELS:
+        raise ValueError(
+            f"unknown timer model {model!r}; expected one of {TIMER_MODELS}"
+        )
+    global _default_timer_model
+    _default_timer_model = model
+
+
+@contextmanager
+def timer_model(model: str):
+    """Temporarily switch the default RTO timer model (for tests)."""
+    previous = _default_timer_model
+    set_default_timer_model(model)
+    try:
+        yield
+    finally:
+        set_default_timer_model(previous)
 
 
 class TcpSender:
@@ -59,11 +113,18 @@ class TcpSender:
         use_sack: bool = False,
         receive_window: Optional[int] = None,
         on_complete: Optional[Callable[[float], None]] = None,
+        timer_model: Optional[str] = None,
     ):
         if total_packets is not None and total_packets <= 0:
             raise ValueError(f"total_packets must be positive, got {total_packets}")
         if initial_cwnd < 1:
             raise ValueError(f"initial_cwnd must be >= 1, got {initial_cwnd}")
+        if timer_model is None:
+            timer_model = _default_timer_model
+        elif timer_model not in TIMER_MODELS:
+            raise ValueError(
+                f"unknown timer model {timer_model!r}; expected one of {TIMER_MODELS}"
+            )
         if receive_window is not None and receive_window < 1:
             raise ValueError(
                 f"receive_window must be >= 1 packet, got {receive_window}"
@@ -104,6 +165,8 @@ class TcpSender:
         self.rtt = RttEstimator(
             min_rto=min_rto, max_rto=max_rto, initial_rto=initial_rto
         )
+        self.timer_model = timer_model
+        self._rto_eager = timer_model == "eager"
         self._rto_timer = None
         self._rto_deadline: Optional[float] = None
         self._send_times: Dict[int, float] = {}
@@ -322,22 +385,32 @@ class TcpSender:
     def _arm_rto(self) -> None:
         """Slide the retransmission deadline forward from *now*.
 
-        The deadline-check pattern: acknowledgements only move the
+        Soft-deadline model (default): acknowledgements only move the
         ``_rto_deadline`` variable; the single pending timer event checks
-        it when it fires and re-sleeps if the deadline has since moved.
-        This avoids one heap cancellation per ACK.
+        it when it fires and re-sleeps until the deadline.  This avoids
+        one heap cancellation per ACK.  The eager model re-schedules the
+        timer event on every call — the textbook implementation, kept as
+        the differential-test oracle (see :data:`TIMER_MODELS`).
         """
         if self.in_flight == 0:
             self._rto_deadline = None
             return
-        self._rto_deadline = self.sim.now + self.rtt.rto
-        if self._rto_timer is None:
-            self._rto_timer = self.sim.schedule(self.rtt.rto, self._on_rto)
-        elif self._rto_timer.time > self._rto_deadline + 1e-12:
+        deadline = self.sim.now + self.rtt.rto
+        self._rto_deadline = deadline
+        timer = self._rto_timer
+        if self._rto_eager:
+            if timer is not None:
+                timer.cancel()
+            self._rto_timer = self.sim.schedule_at(deadline, self._on_rto)
+        elif timer is None:
+            self._rto_timer = self.sim.schedule_at(deadline, self._on_rto)
+        elif timer.time > deadline:
             # The pending event would fire too late (the RTO shrank, e.g.
-            # after the first RTT samples); bring it forward.
-            self._rto_timer.cancel()
-            self._rto_timer = self.sim.schedule(self.rtt.rto, self._on_rto)
+            # after the first RTT samples); bring it forward.  Strict
+            # comparison: the timeout must land at the deadline exactly,
+            # or traces diverge from the eager oracle by an epsilon.
+            timer.cancel()
+            self._rto_timer = self.sim.schedule_at(deadline, self._on_rto)
 
     def _cancel_rto(self) -> None:
         self._rto_deadline = None
@@ -349,10 +422,13 @@ class TcpSender:
         self._rto_timer = None
         if self._completed or self._rto_deadline is None or self.in_flight == 0:
             return
-        if self.sim.now < self._rto_deadline - 1e-12:
+        if self.sim.now < self._rto_deadline:
             # The deadline moved while we slept; sleep out the remainder.
-            self._rto_timer = self.sim.schedule(
-                self._rto_deadline - self.sim.now, self._on_rto
+            # ``schedule_at`` (not ``schedule(deadline - now)``) so the
+            # event lands on the deadline's exact float — adding the
+            # difference back to ``now`` can be off by one ulp.
+            self._rto_timer = self.sim.schedule_at(
+                self._rto_deadline, self._on_rto
             )
             return
         self.timeouts += 1
@@ -372,8 +448,9 @@ class TcpSender:
         self.next_seq = self.highest_ack
         self._transmit(self.next_seq, retransmit=True)
         self.next_seq += 1
-        self._rto_deadline = self.sim.now + self.rtt.rto
-        self._rto_timer = self.sim.schedule(self.rtt.rto, self._on_rto)
+        deadline = self.sim.now + self.rtt.rto
+        self._rto_deadline = deadline
+        self._rto_timer = self.sim.schedule_at(deadline, self._on_rto)
 
     # ------------------------------------------------------------------
     # Completion

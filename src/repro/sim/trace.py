@@ -4,17 +4,32 @@ Probes are periodic self-rescheduling events, matching how ns-2
 experiments sample state.  They are cheap (one event per sample period,
 no per-packet cost) and return plain numpy arrays for the statistics
 layer.
+
+Storage: probes accumulate into :class:`repro.stats.ChunkedSeries`
+(``array('d')`` chunks, 8 bytes/sample) instead of Python lists, and the
+event-exact :class:`TrackedFifoQueue` additionally offers a
+``record="streaming"`` mode that folds every occupancy event into
+:class:`repro.stats.StreamingMoments` — O(1) memory over arbitrarily
+long horizons, with mean/std identical to the batch reduction.
+
+The per-packet hot path is shared by both modes: each event appends a
+``(time, length)`` pair onto a small interleaved Python list (the
+cheapest append there is) and every ``_FOLD_EVENTS`` events the buffer
+is folded — one vectorised numpy pass — into the moments accumulator or
+the chunked trace.  That keeps the per-event cost below half of what
+the plain list-of-floats design paid.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Sequence
 
 import numpy as np
 
 from repro.sim.engine import Simulator
 from repro.sim.queues import FifoQueue
 from repro.sim.tcp.sender import DctcpSender
+from repro.stats.streaming import ChunkedSeries, StreamingMoments
 
 __all__ = [
     "QueueMonitor",
@@ -22,6 +37,9 @@ __all__ = [
     "ThroughputMeter",
     "TrackedFifoQueue",
 ]
+
+#: Occupancy events buffered between vectorised folds (64k floats).
+_FOLD_EVENTS = 32768
 
 
 class QueueMonitor:
@@ -33,9 +51,9 @@ class QueueMonitor:
         self.sim = sim
         self.queue = queue
         self.interval = interval
-        self.times: List[float] = []
-        self.lengths: List[int] = []
-        self.byte_lengths: List[int] = []
+        self.times = ChunkedSeries()
+        self.lengths = ChunkedSeries()
+        self.byte_lengths = ChunkedSeries()
         self._running = False
 
     def start(self, delay: float = 0.0) -> None:
@@ -57,14 +75,14 @@ class QueueMonitor:
 
     def series(self, after: float = 0.0) -> np.ndarray:
         """Queue lengths (packets) sampled at or after ``after`` seconds."""
-        t = np.asarray(self.times)
-        q = np.asarray(self.lengths, dtype=float)
+        t = self.times.to_numpy()
+        q = self.lengths.to_numpy()
         return q[t >= after]
 
     def time_series(self, after: float = 0.0):
         """``(times, lengths)`` pair for plotting-style consumers."""
-        t = np.asarray(self.times)
-        q = np.asarray(self.lengths, dtype=float)
+        t = self.times.to_numpy()
+        q = self.lengths.to_numpy()
         mask = t >= after
         return t[mask], q[mask]
 
@@ -74,26 +92,82 @@ class TrackedFifoQueue(FifoQueue):
 
     Periodic sampling (:class:`QueueMonitor`) can alias against the
     oscillation; the event-driven record is exact, at the cost of one
-    appended pair per packet event.  Pair with
-    :func:`repro.stats.time_weighted_mean` /
-    :func:`repro.stats.time_weighted_std` for unbiased statistics.
+    buffered pair per packet event.
+
+    Two recording modes:
+
+    * ``record="full"`` (default): the complete ``(time, length)`` trace
+      is retained in chunked ``array('d')`` storage — read it via
+      :attr:`event_times` / :attr:`event_lengths`, reduce it with
+      :meth:`time_weighted_mean` / :meth:`time_weighted_std` at any
+      ``after`` cutoff.
+    * ``record="streaming"``: O(1) memory.  Events fold into a
+      :class:`~repro.stats.StreamingMoments` accumulator configured with
+      the ``stats_after`` warmup; no trace is kept, and the statistics
+      methods accept only that one cutoff.  Use for long sweeps where
+      the trace itself is never plotted.
     """
 
-    def __init__(self, sim: Simulator, *args, **kwargs):
+    def __init__(
+        self,
+        sim: Simulator,
+        *args,
+        record: str = "full",
+        stats_after: float = 0.0,
+        **kwargs,
+    ):
+        if record not in ("full", "streaming"):
+            raise ValueError(
+                f"record must be 'full' or 'streaming', got {record!r}"
+            )
         super().__init__(*args, **kwargs)
         self._sim = sim
-        self.event_times: List[float] = [sim.now]
-        self.event_lengths: List[int] = [0]
+        self.record = record
+        self.stats_after = stats_after
+        #: Interleaved ``t0, q0, t1, q1, ...`` staging buffer; folded in
+        #: one numpy pass every ``_FOLD_EVENTS`` events.
+        self._buf = []
+        self._buf_append = self._buf.append
+        self._left = _FOLD_EVENTS
+        if record == "streaming":
+            self._moments = StreamingMoments(after=stats_after)
+            self._times = None
+            self._lengths = None
+        else:
+            self._moments = None
+            self._times = ChunkedSeries()
+            self._lengths = ChunkedSeries()
+        self._buf_append(sim.now)
+        self._buf_append(0.0)
+        self._left -= 1
 
-    def _record(self, at_time=None) -> None:
-        self.event_times.append(self._sim.now if at_time is None else at_time)
-        self.event_lengths.append(len(self._queue))
+    def _fold(self) -> None:
+        """Flush the staging buffer into the configured sink."""
+        buf = self._buf
+        if buf:
+            pairs = np.asarray(buf, dtype=float).reshape(-1, 2)
+            if self._moments is not None:
+                self._moments.add_block(pairs[:, 0], pairs[:, 1])
+            else:
+                self._times.extend_numpy(pairs[:, 0])
+                self._lengths.extend_numpy(pairs[:, 1])
+            buf.clear()
+        self._left = _FOLD_EVENTS
 
     def enqueue(self, packet) -> bool:
-        admitted = super().enqueue(packet)
+        # Base-class call by name and direct ``_sim._now`` access: this
+        # method runs once per packet arrival at the bottleneck, and
+        # super()/property dispatch measurably dominates it.
+        admitted = FifoQueue.enqueue(self, packet)
         # Drops are recorded too: the occupancy observation still
         # happened even though it did not change.
-        self._record()
+        app = self._buf_append
+        app(self._sim._now)
+        app(len(self._queue))
+        left = self._left - 1
+        self._left = left
+        if not left:
+            self._fold()
         return admitted
 
     def dequeue(self, at_time=None):
@@ -101,28 +175,89 @@ class TrackedFifoQueue(FifoQueue):
         # true transmission-start time; record that instant, not the
         # (possibly later) moment of observation, so the event-exact
         # series matches the eager two-event schedule sample for sample.
-        packet = super().dequeue(at_time)
+        packet = FifoQueue.dequeue(self, at_time)
         if packet is not None:
-            self._record(at_time)
+            app = self._buf_append
+            app(self._sim._now if at_time is None else at_time)
+            app(len(self._queue))
+            left = self._left - 1
+            self._left = left
+            if not left:
+                self._fold()
         return packet
 
+    # -- trace access (record="full" only) -----------------------------
+
+    def _trace(self) -> ChunkedSeries:
+        if self._times is None:
+            raise RuntimeError(
+                "record='streaming' keeps no event trace; "
+                "construct with record='full' to read it"
+            )
+        self._fold()
+        return self._times
+
+    @property
+    def event_times(self):
+        """Event timestamps (full mode only)."""
+        return self._trace()
+
+    @property
+    def event_lengths(self):
+        """Queue length after each event (full mode only)."""
+        self._trace()
+        return self._lengths
+
+    # -- statistics -----------------------------------------------------
+
+    def moments(self, after: float = 0.0) -> StreamingMoments:
+        """The statistics accumulator for the ``after`` cutoff.
+
+        Streaming mode returns the live accumulator (``after`` must equal
+        the configured ``stats_after``); full mode builds one from the
+        retained trace, so any cutoff works.
+        """
+        self._fold()
+        if self._moments is not None:
+            if after != self._moments.after:
+                raise ValueError(
+                    f"record='streaming' accumulates statistics for "
+                    f"after={self._moments.after} only (requested {after}); "
+                    f"set stats_after at construction or use record='full'"
+                )
+            return self._moments
+        moments = StreamingMoments(after=after)
+        moments.add_block(self._times.to_numpy(), self._lengths.to_numpy())
+        return moments
+
     def time_weighted_mean(self, after: float = 0.0) -> float:
+        if self._moments is not None:
+            return self._streaming_stats(after).mean
         from repro.stats import time_weighted_mean
 
         t, q = self._series_after(after)
         return time_weighted_mean(t, q)
 
     def time_weighted_std(self, after: float = 0.0) -> float:
+        if self._moments is not None:
+            return self._streaming_stats(after).std
         from repro.stats import time_weighted_std
 
         t, q = self._series_after(after)
         return time_weighted_std(t, q)
 
+    def _streaming_stats(self, after: float) -> StreamingMoments:
+        stats = self.moments(after)
+        if stats.count < 2:
+            raise ValueError("not enough queue events after the warmup")
+        return stats
+
     def _series_after(self, after: float):
-        t = np.asarray(self.event_times)
-        q = np.asarray(self.event_lengths, dtype=float)
+        self._fold()
+        t = self._times.to_numpy()
+        q = self._lengths.to_numpy()
         mask = t >= after
-        if mask.sum() < 2:
+        if int(mask.sum()) < 2:
             raise ValueError("not enough queue events after the warmup")
         return t[mask], q[mask]
 
@@ -142,8 +277,8 @@ class AlphaMonitor:
         self.sim = sim
         self.senders = [s for s in senders if isinstance(s, DctcpSender)]
         self.interval = interval
-        self.times: List[float] = []
-        self.mean_alphas: List[float] = []
+        self.times = ChunkedSeries()
+        self.mean_alphas = ChunkedSeries()
         self._running = False
 
     def start(self, delay: float = 0.0) -> None:
@@ -166,8 +301,8 @@ class AlphaMonitor:
         self.sim.schedule(self.interval, self._sample)
 
     def series(self, after: float = 0.0) -> np.ndarray:
-        t = np.asarray(self.times)
-        a = np.asarray(self.mean_alphas, dtype=float)
+        t = self.times.to_numpy()
+        a = self.mean_alphas.to_numpy()
         return a[t >= after]
 
 

@@ -1,8 +1,15 @@
 """Unit tests for the discrete-event kernel."""
 
+import math
+
 import pytest
 
-from repro.sim.engine import Simulator
+from repro.sim.engine import (
+    Simulator,
+    handle_pool_limit,
+    handle_pool_size,
+    set_handle_pool_limit,
+)
 
 
 class TestScheduling:
@@ -53,6 +60,29 @@ class TestScheduling:
         sim.run()
         with pytest.raises(ValueError):
             sim.schedule_at(1.0, lambda: None)
+
+    def test_non_finite_delay_rejected(self):
+        """Regression: NaN slipped past the `delay < 0` guard (NaN
+        compares false against everything) and corrupted the heap."""
+        sim = Simulator()
+        for bad in (math.nan, math.inf, -math.inf):
+            with pytest.raises(ValueError):
+                sim.schedule(bad, lambda: None)
+
+    def test_non_finite_absolute_time_rejected(self):
+        sim = Simulator()
+        for bad in (math.nan, math.inf):
+            with pytest.raises(ValueError):
+                sim.schedule_at(bad, lambda: None)
+
+    def test_events_scheduled_counts_every_push(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        handle.cancel()
+        assert sim.events_scheduled == 2  # cancellation does not un-count
+        sim.run()
+        assert sim.events_scheduled == 2
 
     def test_callbacks_can_schedule_more_events(self):
         sim = Simulator()
@@ -139,6 +169,44 @@ class TestRunLimits:
         # Only a cancelled entry remained before `until`.
         assert sim.now == 10.0
 
+    def test_stop_ends_run_leaving_later_events_pending(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, 1)
+        sim.schedule(2.0, lambda: (fired.append(2), sim.stop()))
+        sim.schedule(3.0, fired.append, 3)
+        sim.run()
+        assert fired == [1, 2]
+        assert sim.now == 2.0
+        assert sim.pending_events == 1
+        sim.run()  # a fresh run picks the remainder back up
+        assert fired == [1, 2, 3]
+
+    def test_stop_prevents_fast_forward_to_until(self):
+        sim = Simulator()
+        sim.schedule(1.0, sim.stop)
+        sim.schedule(20.0, lambda: None)
+        sim.run(until=10.0)
+        assert sim.now == 1.0  # stopped, not advanced to until
+
+    def test_next_pending_time_prunes_cancelled_heads(self):
+        sim = Simulator()
+        cancelled = [sim.schedule(t, lambda: None) for t in (1.0, 2.0, 3.0)]
+        live = sim.schedule(4.0, lambda: None)
+        for handle in cancelled:
+            handle.cancel()
+        assert sim.pending_events == 4
+        assert sim._next_pending_time() == 4.0
+        # The cancelled entries are gone from the heap, the live one stays.
+        assert sim.pending_events == 1
+        assert sim._heap[0][2] is live
+
+    def test_next_pending_time_empty_after_pruning_everything(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None).cancel()
+        assert sim._next_pending_time() is None
+        assert sim.pending_events == 0
+
     def test_run_is_not_reentrant(self):
         sim = Simulator()
         errors = []
@@ -209,6 +277,94 @@ class TestReset:
         sim.reset()
         sim.schedule(1.0, lambda: None)
         assert sim._heap[0][1] == 0
+
+
+class TestHandlePool:
+    """The EventHandle free list must be invisible to correctness."""
+
+    def test_unretained_fired_handles_are_recycled(self):
+        try:
+            set_handle_pool_limit(0)
+            set_handle_pool_limit(4096)  # drained, pooling back on
+            sim = Simulator()
+            for t in (1.0, 2.0, 3.0):
+                sim.schedule(t, lambda: None)  # handles not retained
+            sim.run()
+            assert handle_pool_size() == 3
+        finally:
+            set_handle_pool_limit(4096)
+
+    def test_scheduling_reuses_pooled_handles(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert handle_pool_size() > 0
+        before = handle_pool_size()
+        sim.schedule(2.0, lambda: None)
+        assert handle_pool_size() == before - 1
+
+    def test_retained_handle_is_never_recycled(self):
+        """A handle the caller kept must not come back as a new event."""
+        sim = Simulator()
+        set_handle_pool_limit(0)  # drain the pool...
+        limit_restored = False
+        try:
+            set_handle_pool_limit(4096)  # ...then re-enable, pool empty
+            limit_restored = True
+            retained = sim.schedule(1.0, lambda: None)
+            sim.run()
+            fresh = sim.schedule(2.0, lambda: None)
+            assert fresh is not retained
+            fired = []
+            fresh.callback = fired.append
+            fresh.args = (1,)
+            retained.cancel()  # late cancel must not touch `fresh`
+            assert not fresh.cancelled
+            sim.run()
+            assert fired == [1]
+        finally:
+            if not limit_restored:
+                set_handle_pool_limit(4096)
+
+    def test_cancel_after_fire_noop_with_pool_reuse_pressure(self):
+        sim = Simulator()
+        fired = []
+        retained = sim.schedule(1.0, fired.append, 1)
+        sim.run()
+        # Churn the pool hard; none of these may alias `retained`.
+        for t in range(2, 50):
+            sim.schedule(float(t), fired.append, t)
+        retained.cancel()
+        sim.run()
+        assert fired == list(range(1, 50))
+
+    def test_cancelled_unretained_handles_are_recycled(self):
+        try:
+            set_handle_pool_limit(0)
+            set_handle_pool_limit(4096)  # drained, pooling back on
+            sim = Simulator()
+            handle = sim.schedule(1.0, lambda: None)
+            handle.cancel()
+            del handle
+            sim.run()
+            assert handle_pool_size() == 1  # popped entry went to pool
+        finally:
+            set_handle_pool_limit(4096)
+
+    def test_pool_can_be_disabled(self):
+        try:
+            set_handle_pool_limit(0)
+            assert handle_pool_size() == 0
+            sim = Simulator()
+            sim.schedule(1.0, lambda: None)
+            sim.run()
+            assert handle_pool_size() == 0
+        finally:
+            set_handle_pool_limit(4096)
+
+    def test_negative_limit_rejected(self):
+        with pytest.raises(ValueError):
+            set_handle_pool_limit(-1)
 
 
 class TestDeterminism:

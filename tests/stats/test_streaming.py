@@ -1,0 +1,164 @@
+"""Tests for streaming moments and chunked series storage."""
+
+import numpy as np
+import pytest
+
+from repro.stats import (
+    ChunkedSeries,
+    StreamingMoments,
+    time_weighted_mean,
+    time_weighted_std,
+)
+
+
+def _random_walk(rng, n, t0=0.0):
+    """An irregular queue-like (times, values) pair."""
+    times = t0 + np.cumsum(rng.exponential(1e-5, size=n))
+    steps = rng.choice([-1, 1], size=n)
+    values = np.abs(np.cumsum(steps)).astype(float)
+    return times, values
+
+
+class TestStreamingMoments:
+    def test_matches_batch_on_scalar_feed(self):
+        rng = np.random.default_rng(7)
+        times, values = _random_walk(rng, 5000)
+        moments = StreamingMoments()
+        for t, v in zip(times, values):
+            moments.add(t, v)
+        assert moments.mean == pytest.approx(
+            time_weighted_mean(times, values), abs=1e-9, rel=1e-9
+        )
+        assert moments.std == pytest.approx(
+            time_weighted_std(times, values), abs=1e-9, rel=1e-9
+        )
+        assert moments.count == 5000
+
+    def test_matches_batch_on_block_feed_any_split(self):
+        rng = np.random.default_rng(11)
+        times, values = _random_walk(rng, 4096)
+        for splits in ([1], [100, 101, 4000 - 5, 4000], [2048, 4096]):
+            moments = StreamingMoments()
+            prev = 0
+            for cut in splits:
+                moments.add_block(times[prev:cut], values[prev:cut])
+                prev = cut
+            moments.add_block(times[prev:], values[prev:])
+            assert moments.mean == pytest.approx(
+                time_weighted_mean(times, values), abs=1e-9, rel=1e-9
+            )
+            assert moments.std == pytest.approx(
+                time_weighted_std(times, values), abs=1e-9, rel=1e-9
+            )
+
+    def test_scalar_and_block_feeds_agree_exactly(self):
+        rng = np.random.default_rng(3)
+        times, values = _random_walk(rng, 1000)
+        scalar = StreamingMoments()
+        for t, v in zip(times, values):
+            scalar.add(t, v)
+        block = StreamingMoments()
+        block.add_block(times, values)
+        assert block.mean == pytest.approx(scalar.mean, rel=1e-12)
+        assert block.std == pytest.approx(scalar.std, rel=1e-12)
+
+    def test_warmup_drops_early_events(self):
+        rng = np.random.default_rng(5)
+        times, values = _random_walk(rng, 3000)
+        cutoff = float(times[1000])
+        moments = StreamingMoments(after=cutoff)
+        moments.add_block(times, values)
+        mask = times >= cutoff
+        assert moments.count == int(mask.sum())
+        assert moments.mean == pytest.approx(
+            time_weighted_mean(times[mask], values[mask]), abs=1e-9, rel=1e-9
+        )
+        assert moments.std == pytest.approx(
+            time_weighted_std(times[mask], values[mask]), abs=1e-9, rel=1e-9
+        )
+
+    def test_needs_two_samples(self):
+        moments = StreamingMoments()
+        with pytest.raises(ValueError):
+            moments.mean
+        moments.add(0.0, 1.0)
+        with pytest.raises(ValueError):
+            moments.std
+
+    def test_all_events_at_one_instant_falls_back_to_plain_stats(self):
+        # Mirrors the batch functions' total-duration-zero branch.
+        values = [3.0, 5.0, 7.0]
+        moments = StreamingMoments()
+        for v in values:
+            moments.add(2.0, v)
+        assert moments.mean == pytest.approx(float(np.mean(values)))
+        assert moments.std == pytest.approx(float(np.std(values)))
+
+    def test_large_offset_stays_accurate(self):
+        # The offset shift is what keeps E[x^2]-E[x]^2 usable: values
+        # near 1e9 with unit excursions would otherwise lose everything.
+        rng = np.random.default_rng(13)
+        times, values = _random_walk(rng, 2000)
+        values = values + 1e9
+        moments = StreamingMoments()
+        moments.add_block(times, values)
+        assert moments.mean == pytest.approx(
+            time_weighted_mean(times, values), rel=1e-9
+        )
+        assert moments.std == pytest.approx(
+            time_weighted_std(times, values), rel=1e-6, abs=1e-6
+        )
+
+
+class TestChunkedSeries:
+    def test_append_and_read_back_across_chunks(self):
+        series = ChunkedSeries(chunk_size=16)
+        data = [float(i) * 0.5 for i in range(100)]
+        for x in data:
+            series.append(x)
+        assert len(series) == 100
+        assert list(series) == data
+        assert series == data
+        assert series[0] == 0.0
+        assert series[-1] == data[-1]
+        assert series[17] == data[17]
+
+    def test_extend_numpy_and_to_numpy_roundtrip(self):
+        series = ChunkedSeries(chunk_size=8)
+        series.append(1.0)
+        series.extend_numpy(np.arange(20.0))
+        series.append(2.0)
+        expected = np.concatenate([[1.0], np.arange(20.0), [2.0]])
+        np.testing.assert_array_equal(series.to_numpy(), expected)
+        assert len(series) == 22
+
+    def test_slice_returns_numpy(self):
+        series = ChunkedSeries(chunk_size=4)
+        for i in range(10):
+            series.append(float(i))
+        np.testing.assert_array_equal(series[2:5], [2.0, 3.0, 4.0])
+
+    def test_equality_against_sequences(self):
+        series = ChunkedSeries()
+        assert series == []
+        series.append(1.0)
+        series.append(2.0)
+        assert series == [1.0, 2.0]
+        assert series == (1.0, 2.0)
+        assert not (series == [1.0])
+        assert series != [1.0, 99.0]
+
+    def test_index_errors(self):
+        series = ChunkedSeries()
+        series.append(1.0)
+        with pytest.raises(IndexError):
+            series[1]
+        with pytest.raises(IndexError):
+            series[-2]
+
+    def test_empty_to_numpy(self):
+        assert ChunkedSeries().to_numpy().size == 0
+
+    def test_rejects_bad_chunk_size(self):
+        with pytest.raises(ValueError):
+            ChunkedSeries(chunk_size=0)

@@ -6,6 +6,7 @@ import numpy as np
 import pytest
 
 from repro.stats.timeseries import (
+    _autocorrelation_direct,
     autocorrelation,
     crossings,
     dominant_frequency,
@@ -142,6 +143,30 @@ class TestAutocorrelation:
     def test_invalid_lag_rejected(self):
         with pytest.raises(ValueError):
             autocorrelation([1.0, 2.0], 5)
+        with pytest.raises(ValueError):
+            _autocorrelation_direct([1.0, 2.0], 5)
+
+    def test_fft_matches_direct_loop_on_noise(self):
+        """The Wiener-Khinchin FFT path must reproduce the lag-by-lag
+        dot products it replaced."""
+        rng = np.random.default_rng(42)
+        for n, max_lag in ((64, 0), (64, 63), (500, 60), (1000, 333)):
+            v = rng.normal(size=n)
+            np.testing.assert_allclose(
+                autocorrelation(v, max_lag),
+                _autocorrelation_direct(v, max_lag),
+                atol=1e-10,
+            )
+
+    def test_fft_matches_direct_loop_on_queue_like_signal(self):
+        # Sawtooth plus offset: the shape real queue traces take.
+        t = np.arange(2000)
+        v = 40.0 + 20.0 * ((t % 97) / 97.0) + np.sin(t / 11.0)
+        np.testing.assert_allclose(
+            autocorrelation(v, 250),
+            _autocorrelation_direct(v, 250),
+            atol=1e-10,
+        )
 
 
 class TestCrossings:
