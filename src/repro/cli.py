@@ -11,21 +11,34 @@ Commands:
 * ``incast``    — one incast point on the testbed;
 * ``bench``     — the :mod:`repro.perf` benchmark suite (engine
                   events/sec, link saturation, per-figure wall time),
-                  written to ``BENCH_PR4.json``.
+                  written to ``BENCH_PR4.json``;
+* ``faults``    — fault-injection smoke: runs a sweep with scheduled
+                  crashes/hangs/corruption, asserts the non-faulted
+                  results are byte-identical to a fault-free run, then
+                  resumes and asserts only the casualties re-execute;
+* ``cache``     — result-cache maintenance: ``stats``, ``verify``
+                  (quarantine damaged entries), ``gc``.
 
 ``figure`` and ``simulate`` accept ``--profile`` to wrap the run in
 cProfile (top-20 cumulative table on stderr, raw pstats via
-``--profile-out``).
+``--profile-out``).  Sweep-shaped figures accept ``--timeout``,
+``--retries``, and ``--failure-policy`` for fault-tolerant execution;
+with a skip policy the exit code is 3 when a sweep completed partially
+(re-run the same command to resume the holes).
 
 Examples::
 
     python -m repro.cli analyze --flows 55 --protocol dt-dctcp
     python -m repro.cli figure 14 --quick
     python -m repro.cli figure 10 --quick --profile
+    python -m repro.cli figure 10 --jobs 8 --timeout 600 --retries 2 \\
+        --failure-policy retry-then-skip
     python -m repro.cli simulate --flows 20 --protocol dctcp --duration 0.03
     python -m repro.cli incast --flows 35 --protocol dctcp
     python -m repro.cli bench --quick
     python -m repro.cli bench --check BENCH_PR4.json --baseline old.json
+    python -m repro.cli faults --cases 24 --rate 0.25 --jobs 4
+    python -m repro.cli cache stats
 """
 
 from __future__ import annotations
@@ -161,11 +174,31 @@ def _run_figure(args: argparse.Namespace) -> int:
             if use_cache
             else None
         )
-        executor = SweepExecutor(jobs=args.jobs, cache=cache)
-        module.main(scale, executor=executor)
+        executor = SweepExecutor(
+            jobs=args.jobs,
+            cache=cache,
+            timeout=args.timeout,
+            retries=args.retries,
+            failure_policy=args.failure_policy,
+        )
+        try:
+            module.main(scale, executor=executor)
+        except Exception:
+            # Under a skip policy a figure may be unable to tabulate
+            # around the holes; every completed cell is already durably
+            # cached, so report the partial state instead of a stack.
+            if not executor.report.failures:
+                raise
         # Telemetry on stderr so the figure table on stdout stays
         # byte-identical to a plain sequential run.
         print(executor.report.render(), file=sys.stderr)
+        if executor.report.failures:
+            print(
+                f"{len(executor.report.failures)} case(s) failed; re-run "
+                "the same command to resume from the manifest",
+                file=sys.stderr,
+            )
+            return 3
     else:
         module.main()
     return 0
@@ -265,6 +298,157 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_faults(args: argparse.Namespace) -> int:
+    """Fault-injection smoke: partial completion, then clean resume.
+
+    Phase 1 runs a deterministic demo sweep with faults injected on a
+    seeded schedule and checks that (a) every non-faulted case's result
+    is byte-identical to a fault-free computation and (b) every failure
+    is attributed to a scheduled fault.  Phase 2 re-runs the sweep
+    against the same cache with no faults and checks that only the
+    casualties (skipped cases + torn cache entries) re-execute.
+    """
+    import tempfile
+
+    from repro.exec import ResultCache, SweepExecutor
+    from repro.exec import faults as fl
+
+    cases = fl.demo_cases(args.cases)
+    plan = fl.FaultPlan.from_rate(
+        len(cases),
+        args.rate,
+        seed=args.seed,
+        kinds=tuple(args.kinds.split(",")),
+        fail_attempts=args.fail_attempts,
+        hang_seconds=max(30.0, 10.0 * args.timeout),
+    )
+    expected = [fl.run_case(case) for case in cases]
+    faulted = set(plan.faulted_indices())
+    # Worker-side faults that outlast the retry budget become skips;
+    # torn-write cases succeed in-run and only hurt the *next* run.
+    permanent = args.fail_attempts > args.retries
+    expect_skipped = (
+        {
+            i for i in faulted
+            if plan.spec_for(i).kind != "torn-write"
+        }
+        if permanent
+        else set()
+    )
+    torn = {i for i in faulted if plan.spec_for(i).kind == "torn-write"}
+
+    cache_dir = (
+        args.cache_dir
+        if args.cache_dir is not None
+        else Path(tempfile.mkdtemp(prefix="repro-faults-"))
+    )
+    print(
+        f"phase 1: {len(cases)} cases, {len(faulted)} faulted "
+        f"({plan.count('error')} error / {plan.count('die')} die / "
+        f"{plan.count('hang')} hang / {plan.count('corrupt')} corrupt / "
+        f"{plan.count('torn-write')} torn-write), cache at {cache_dir}"
+    )
+    ex = SweepExecutor(
+        jobs=args.jobs,
+        cache=ResultCache(cache_dir),
+        timeout=args.timeout,
+        retries=args.retries,
+        failure_policy=args.policy,
+        backoff_base=0.05,
+        fault_plan=plan,
+    )
+    results = ex.run(cases, stage="faults-smoke")
+    print(ex.report.render())
+
+    ok = True
+    skipped = {i for i, r in enumerate(results) if r is None}
+    if skipped != expect_skipped:
+        print(f"FAIL: skipped {sorted(skipped)}, "
+              f"expected {sorted(expect_skipped)}")
+        ok = False
+    for i, result in enumerate(results):
+        if result is not None and result != expected[i]:
+            print(f"FAIL: case {i} result differs from fault-free run")
+            ok = False
+    bad_attribution = {
+        f.label for f in ex.report.failures
+    } - {cases[i].label for i in faulted}
+    if bad_attribution:
+        print(f"FAIL: failures attributed to non-faulted cases: "
+              f"{sorted(bad_attribution)}")
+        ok = False
+    if ok:
+        print(
+            f"phase 1 ok: {len(cases) - len(skipped)}/{len(cases)} "
+            f"completed, {len(skipped)} skipped (all attributed)"
+        )
+
+    if args.resume:
+        cache = ResultCache(cache_dir)
+        ex2 = SweepExecutor(jobs=args.jobs, cache=cache)
+        results2 = ex2.run(cases, stage="faults-smoke")
+        print(ex2.report.render())
+        stats = ex2.report.stages[0]
+        expect_rerun = len(expect_skipped) + len(torn)
+        if results2 != expected:
+            print("FAIL: resumed results differ from fault-free run")
+            ok = False
+        if stats.executed != expect_rerun:
+            print(f"FAIL: resume executed {stats.executed} cases, "
+                  f"expected {expect_rerun}")
+            ok = False
+        if cache.corrupt != len(torn):
+            print(f"FAIL: resume quarantined {cache.corrupt} entries, "
+                  f"expected {len(torn)}")
+            ok = False
+        if ok:
+            print(
+                f"resume ok: re-executed only the {expect_rerun} "
+                f"casualties ({len(expect_skipped)} skipped + "
+                f"{len(torn)} torn cache entries quarantined)"
+            )
+    print("FAULTS SMOKE: " + ("PASS" if ok else "FAIL"))
+    return 0 if ok else 1
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    from repro.exec import ResultCache, default_cache_dir
+
+    cache = ResultCache(
+        args.cache_dir if args.cache_dir is not None else default_cache_dir()
+    )
+    if args.action == "stats":
+        stats = cache.stats()
+        rows = [
+            ("root", stats["root"]),
+            ("entries", stats["entries"]),
+            ("bytes", stats["bytes"]),
+            ("quarantined", stats["quarantined"]),
+        ] + [
+            (f"  {name}", count)
+            for name, count in stats["experiments"].items()
+        ]
+        print_table(["quantity", "value"], rows, title="result cache")
+        return 0
+    if args.action == "verify":
+        outcome = cache.verify()
+        print(
+            f"checked {outcome['checked']} entries: {outcome['ok']} ok, "
+            f"{outcome['corrupt']} corrupt (quarantined), "
+            f"{outcome['stale']} stale"
+        )
+        return 1 if outcome["corrupt"] else 0
+    if args.action == "gc":
+        outcome = cache.gc(max_age_days=args.older_than)
+        print(
+            f"removed {outcome['removed_entries']} entries and "
+            f"{outcome['removed_quarantine']} quarantined files"
+        )
+        return 0
+    print(f"unknown cache action {args.action!r}", file=sys.stderr)
+    return 2
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -288,6 +472,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "(default $REPRO_CACHE_DIR or .repro-cache)")
     p.add_argument("--no-cache", action="store_true",
                    help="ignore and bypass the result cache")
+    _add_supervision_args(p)
     _add_profile_args(p)
     p.set_defaults(func=cmd_figure)
 
@@ -321,7 +506,59 @@ def build_parser() -> argparse.ArgumentParser:
                    help="allowed fractional engine events/sec regression")
     _add_profile_args(p)
     p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser(
+        "faults",
+        help="fault-injection smoke (partial results + clean resume)",
+    )
+    p.add_argument("--cases", type=_positive_int, default=24,
+                   help="demo sweep size")
+    p.add_argument("--rate", type=float, default=0.25,
+                   help="fraction of cases scheduled to fault")
+    p.add_argument("--seed", type=int, default=13,
+                   help="fault schedule seed (13 exercises all five kinds "
+                        "at the default size and rate)")
+    p.add_argument("--kinds", type=str,
+                   default="error,die,hang,corrupt,torn-write",
+                   help="comma-separated fault kinds to draw from")
+    p.add_argument("--fail-attempts", type=_positive_int, default=1_000_000,
+                   help="attempts each fault keeps firing for "
+                        "(default: permanent within the run)")
+    p.add_argument("--jobs", type=_positive_int, default=4)
+    p.add_argument("--timeout", type=float, default=2.0,
+                   help="per-case deadline (catches injected hangs)")
+    p.add_argument("--retries", type=int, default=1)
+    p.add_argument("--policy", choices=["skip", "retry-then-skip"],
+                   default="retry-then-skip")
+    p.add_argument("--cache-dir", type=Path, default=None,
+                   help="cache/manifest directory (default: fresh tempdir)")
+    p.add_argument("--no-resume", dest="resume", action="store_false",
+                   help="skip the phase-2 resume verification")
+    p.set_defaults(func=cmd_faults)
+
+    p = sub.add_parser("cache", help="result-cache maintenance")
+    p.add_argument("action", choices=["stats", "verify", "gc"])
+    p.add_argument("--cache-dir", type=Path, default=None,
+                   help="result cache directory "
+                        "(default $REPRO_CACHE_DIR or .repro-cache)")
+    p.add_argument("--older-than", type=float, default=None, metavar="DAYS",
+                   help="gc: also remove valid entries older than DAYS")
+    p.set_defaults(func=cmd_cache)
     return parser
+
+
+def _add_supervision_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                   help="per-case deadline; a hung worker is torn down "
+                        "and the case retried or failed")
+    p.add_argument("--retries", type=int, default=0,
+                   help="bounded retries per case (exponential backoff)")
+    p.add_argument("--failure-policy",
+                   choices=["raise", "skip", "retry-then-skip"],
+                   default="raise",
+                   help="what a terminal case failure does: abort the "
+                        "stage, or record it and keep the partial sweep "
+                        "(exit code 3; re-run to resume)")
 
 
 def _add_profile_args(p: argparse.ArgumentParser) -> None:

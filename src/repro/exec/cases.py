@@ -22,7 +22,14 @@ import importlib
 import json
 from typing import Any, Dict
 
-__all__ = ["CACHE_SCHEMA_VERSION", "Case", "case_key", "execute_case"]
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "Case",
+    "InvalidResultError",
+    "case_key",
+    "ensure_result",
+    "execute_case",
+]
 
 #: Bump when the meaning of cached results changes (simulator semantics,
 #: result layout) so stale cache entries are never replayed.
@@ -71,6 +78,24 @@ def case_key(case: Case) -> str:
         separators=(",", ":"),
     )
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class InvalidResultError(TypeError):
+    """A case returned something that is not a result dict.
+
+    Raised by :func:`ensure_result` so the executor can treat a corrupt
+    return value like any other retryable case failure instead of
+    caching garbage or handing it to a figure module.
+    """
+
+
+def ensure_result(case: Case, result: Any) -> Dict[str, Any]:
+    """Validate a ``run_case`` return value (must be a dict)."""
+    if not isinstance(result, dict):
+        raise InvalidResultError(
+            f"{case!r} returned {type(result).__name__}, expected dict"
+        )
+    return result
 
 
 def execute_case(case: Case) -> Dict[str, Any]:

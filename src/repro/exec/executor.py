@@ -1,33 +1,86 @@
-"""Process-pool sweep executor.
+"""Process-pool sweep executor with per-case fault supervision.
 
 :class:`SweepExecutor` takes a list of independent :class:`Case` cells
 and returns their results *in case order*:
 
 1. every case is first looked up in the optional on-disk cache;
-2. the misses run — inline when ``jobs == 1``, else fanned across a
-   ``ProcessPoolExecutor`` — and are written back to the cache;
-3. per-stage wall time and hit counts accumulate in a
-   :class:`~repro.exec.report.RunReport`.
+2. the misses run — inline when ``jobs == 1`` and no supervision is
+   configured, else fanned across a ``ProcessPoolExecutor`` — and each
+   result is written back to the cache *the moment it completes*, so an
+   interrupted stage never loses finished work;
+3. per-stage wall time, hit counts, retries, and failures accumulate in
+   a :class:`~repro.exec.report.RunReport`.
+
+Supervision (all off by default):
+
+* ``timeout`` — a per-case deadline; an overdue case's worker pool is
+  torn down (the only way to stop a hung worker), innocent in-flight
+  cases are resubmitted without penalty, and the overdue case is
+  retried or failed;
+* ``retries`` / ``backoff_base`` / ``backoff_max`` / ``backoff_jitter``
+  — bounded retries with exponential backoff and deterministic,
+  case-keyed jitter;
+* ``failure_policy`` — ``"raise"`` aborts the stage on the first
+  terminal failure (the historical behaviour), ``"skip"`` and
+  ``"retry-then-skip"`` record a
+  :class:`~repro.exec.report.FailureRecord` and leave a ``None`` hole
+  in the results so the rest of the sweep still lands;
+* a broken process pool (worker died hard) is recovered by rebuilding
+  the pool and *probing* the in-flight cases one at a time, so the
+  crash is attributed to the case that actually caused it and innocent
+  cases are re-run without spending a retry.
+
+Checkpoint-resume: when a cache is attached, each stage keeps a
+crash-safe :class:`~repro.exec.manifest.StageManifest` journal of
+completions and give-ups.  Together with per-completion cache
+write-back, a re-run of an interrupted or partially-failed sweep
+re-executes only the cases that never finished.
 
 Determinism: cases are self-contained simulations with locally seeded
 RNGs, so the executor's only contract is *ordering* — results come back
 positionally matched to the input cases, never in completion order.
-Worker processes re-seed nothing and share nothing; a parallel run is
-therefore bit-identical to a sequential one.
+Worker processes re-seed nothing and share nothing; with zero injected
+faults a parallel, supervised, or resumed run is bit-identical to a
+sequential one.
 """
 
 from __future__ import annotations
 
+import heapq
+import random
 import sys
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from typing import Any, Dict, List, Optional, Sequence
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro.exec import faults as _faults
 from repro.exec.cache import ResultCache
-from repro.exec.cases import Case, execute_case
-from repro.exec.report import RunReport, StageStats
+from repro.exec.cases import (
+    Case,
+    InvalidResultError,
+    case_key,
+    ensure_result,
+    execute_case,
+)
+from repro.exec.manifest import StageManifest
+from repro.exec.report import FailureRecord, RunReport, StageStats
 
-__all__ = ["SweepExecutor", "execute_cases"]
+__all__ = [
+    "FAILURE_POLICIES",
+    "CaseTimeoutError",
+    "SweepExecutor",
+    "execute_cases",
+]
+
+FAILURE_POLICIES = ("raise", "skip", "retry-then-skip")
+
+#: Default retry budget "retry-then-skip" implies when none was given.
+DEFAULT_RETRIES = 2
+
+
+class CaseTimeoutError(TimeoutError):
+    """A case exceeded the executor's per-case deadline."""
 
 
 def _init_worker(parent_sys_path: List[str]) -> None:
@@ -45,16 +98,73 @@ class SweepExecutor:
         jobs: int = 1,
         cache: Optional[ResultCache] = None,
         report: Optional[RunReport] = None,
+        *,
+        timeout: Optional[float] = None,
+        retries: int = 0,
+        failure_policy: str = "raise",
+        backoff_base: float = 0.05,
+        backoff_max: float = 2.0,
+        backoff_jitter: float = 0.1,
+        fault_plan: Optional["_faults.FaultPlan"] = None,
+        resume: bool = True,
     ):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if failure_policy not in FAILURE_POLICIES:
+            raise ValueError(
+                f"failure_policy must be one of {FAILURE_POLICIES}, "
+                f"got {failure_policy!r}"
+            )
+        if timeout is not None and timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {timeout}")
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        if failure_policy == "retry-then-skip" and retries == 0:
+            retries = DEFAULT_RETRIES
         self.jobs = jobs
         self.cache = cache
         self.report = report if report is not None else RunReport(jobs=jobs)
+        self.timeout = timeout
+        self.retries = retries
+        self.failure_policy = failure_policy
+        self.backoff_base = backoff_base
+        self.backoff_max = backoff_max
+        self.backoff_jitter = backoff_jitter
+        self.fault_plan = fault_plan
+        self.resume = resume
+        self._pool: Optional[ProcessPoolExecutor] = None
 
-    def run(self, cases: Sequence[Case], stage: str = "") -> List[Dict[str, Any]]:
-        """Execute ``cases``, returning results in input order."""
+    @property
+    def supervised(self) -> bool:
+        """Does any configured feature require process isolation?"""
+        return (
+            self.timeout is not None
+            or self.retries > 0
+            or self.failure_policy != "raise"
+            or self.fault_plan is not None
+        )
+
+    # -- the stage loop ------------------------------------------------
+
+    def run(
+        self, cases: Sequence[Case], stage: str = ""
+    ) -> List[Optional[Dict[str, Any]]]:
+        """Execute ``cases``, returning results in input order.
+
+        Under a ``skip``-flavoured ``failure_policy``, a case the
+        executor gave up on leaves ``None`` at its position and a
+        :class:`FailureRecord` in the report; re-running the same stage
+        (same cache) executes only those holes.
+        """
         start = time.perf_counter()
+        stage_name = stage or (cases[0].experiment if cases else "<empty>")
+        keys = [case_key(case) for case in cases]
+        manifest = self._manifest_for(stage_name, keys)
+        resumed = 0
+        if manifest is not None:
+            prior = manifest.load()
+            resumed = sum(1 for key in keys if key in prior)
+
         results: List[Optional[Dict[str, Any]]] = [None] * len(cases)
         pending: List[int] = []
         for i, case in enumerate(cases):
@@ -64,48 +174,431 @@ class SweepExecutor:
             else:
                 pending.append(i)
 
+        counters = {"failed": 0, "retried": 0}
         if pending:
-            if self.jobs > 1 and len(pending) > 1:
-                self._run_pool(cases, pending, results)
+            if self.supervised or (self.jobs > 1 and len(pending) > 1):
+                self._run_supervised(
+                    cases, keys, pending, results, stage_name, manifest,
+                    counters,
+                )
             else:
-                for i in pending:
-                    results[i] = execute_case(cases[i])
-            if self.cache is not None:
-                for i in pending:
-                    self.cache.put(cases[i], results[i])
+                self._run_inline(cases, keys, pending, results, manifest)
 
         self.report.add(
             StageStats(
-                name=stage or (cases[0].experiment if cases else "<empty>"),
+                name=stage_name,
                 cases=len(cases),
                 cache_hits=len(cases) - len(pending),
-                executed=len(pending),
+                executed=len(pending) - counters["failed"],
                 wall_seconds=time.perf_counter() - start,
+                failed=counters["failed"],
+                retried=counters["retried"],
+                resumed=resumed,
             )
         )
-        return results  # type: ignore[return-value]
+        return results
 
-    def _run_pool(
+    def _manifest_for(
+        self, stage_name: str, keys: Sequence[str]
+    ) -> Optional[StageManifest]:
+        if self.cache is None or not self.resume or not keys:
+            return None
+        return StageManifest.for_stage(self.cache.root, stage_name, keys)
+
+    # -- inline (unsupervised, sequential) path ------------------------
+
+    def _run_inline(
         self,
         cases: Sequence[Case],
+        keys: Sequence[str],
         pending: Sequence[int],
         results: List[Optional[Dict[str, Any]]],
+        manifest: Optional[StageManifest],
     ) -> None:
-        workers = min(self.jobs, len(pending))
-        with ProcessPoolExecutor(
+        for i in pending:
+            case = cases[i]
+            try:
+                result = ensure_result(case, execute_case(case))
+            except BaseException as exc:
+                if manifest is not None:
+                    manifest.failed(
+                        keys[i], label=case.label, kind="exception",
+                        error=str(exc),
+                    )
+                raise
+            results[i] = result
+            self._commit(i, case, keys[i], result, attempt=1,
+                         manifest=manifest)
+
+    # -- supervised pool path ------------------------------------------
+
+    def _run_supervised(
+        self,
+        cases: Sequence[Case],
+        keys: Sequence[str],
+        pending: Sequence[int],
+        results: List[Optional[Dict[str, Any]]],
+        stage: str,
+        manifest: Optional[StageManifest],
+        counters: Dict[str, int],
+    ) -> None:
+        workers = max(1, min(self.jobs, len(pending)))
+        self._pool = self._make_pool(workers)
+        inflight: Dict[Future, Tuple[int, int]] = {}
+        deadlines: Dict[Future, Optional[float]] = {}
+        retry_q: List[Tuple[float, int, int]] = []
+        try:
+            for i in pending:
+                # Seed through the retry queue so first submissions and
+                # retries share one code path (and its breakage check).
+                heapq.heappush(retry_q, (0.0, i, 1))
+            while inflight or retry_q:
+                now = time.monotonic()
+                broken_on_submit = False
+                while retry_q and retry_q[0][0] <= now:
+                    _, i, attempt = heapq.heappop(retry_q)
+                    try:
+                        self._submit(cases, i, attempt, inflight, deadlines)
+                    except BrokenProcessPool:
+                        # A die-fault broke the pool between wait
+                        # cycles; the submission never started, so it
+                        # is re-queued as-is while everything in flight
+                        # becomes a casualty to probe.
+                        heapq.heappush(retry_q, (now, i, attempt))
+                        suspects = sorted(inflight.values())
+                        inflight.clear()
+                        deadlines.clear()
+                        self._rebuild_pool(workers)
+                        self._probe(
+                            cases, keys, results, stage, suspects,
+                            retry_q, manifest, counters, workers,
+                        )
+                        broken_on_submit = True
+                        break
+                if broken_on_submit:
+                    continue
+                if not inflight:
+                    # Everything alive is waiting out a backoff.
+                    pause = max(0.0, retry_q[0][0] - time.monotonic())
+                    time.sleep(min(0.5, pause))
+                    continue
+                done, _ = wait(
+                    set(inflight),
+                    timeout=self._wake_in(deadlines, retry_q),
+                    return_when=FIRST_COMPLETED,
+                )
+                suspects: List[Tuple[int, int]] = []
+                for future in done:
+                    i, attempt = inflight.pop(future)
+                    deadlines.pop(future, None)
+                    try:
+                        result = future.result()
+                    except BrokenProcessPool:
+                        suspects.append((i, attempt))
+                        continue
+                    except BaseException as exc:
+                        self._on_failure(
+                            cases, keys, i, attempt, "exception", exc,
+                            stage, retry_q, manifest, counters,
+                        )
+                        continue
+                    self._on_success(
+                        cases, keys, i, attempt, result, results,
+                        stage, retry_q, manifest, counters,
+                    )
+                if suspects:
+                    # The pool is dead and every in-flight future with
+                    # it; probe the casualties one at a time so the
+                    # crash is attributed to its actual cause.
+                    suspects.extend(inflight.values())
+                    inflight.clear()
+                    deadlines.clear()
+                    self._rebuild_pool(workers)
+                    self._probe(
+                        cases, keys, results, stage, suspects, retry_q,
+                        manifest, counters, workers,
+                    )
+                    continue
+                self._expire_overdue(
+                    cases, keys, results, stage, inflight, deadlines,
+                    retry_q, manifest, counters, workers,
+                )
+        except BaseException:
+            self._shutdown_pool(kill=True)
+            raise
+        else:
+            self._shutdown_pool()
+
+    def _probe(
+        self,
+        cases: Sequence[Case],
+        keys: Sequence[str],
+        results: List[Optional[Dict[str, Any]]],
+        stage: str,
+        suspects: Sequence[Tuple[int, int]],
+        retry_q: List[Tuple[float, int, int]],
+        manifest: Optional[StageManifest],
+        counters: Dict[str, int],
+        workers: int,
+    ) -> None:
+        """Re-run the casualties of a pool breakage one at a time.
+
+        ``BrokenProcessPool`` gives no clue which in-flight case killed
+        the worker, so running each suspect alone in the fresh pool is
+        the attribution mechanism: the case that breaks its solo pool
+        is the culprit (and spends an attempt); the others complete
+        normally at no retry cost.
+        """
+        for i, attempt in sorted(suspects):
+            future = self._submit_future(cases, i, attempt)
+            done, _ = wait({future}, timeout=self.timeout)
+            if future not in done:
+                self._rebuild_pool(workers)
+                self._on_failure(
+                    cases, keys, i, attempt, "timeout",
+                    CaseTimeoutError(
+                        f"{cases[i]!r} exceeded {self.timeout}s"
+                    ),
+                    stage, retry_q, manifest, counters,
+                )
+                continue
+            try:
+                result = future.result()
+            except BrokenProcessPool as exc:
+                self._rebuild_pool(workers)
+                self._on_failure(
+                    cases, keys, i, attempt, "pool-broken", exc,
+                    stage, retry_q, manifest, counters,
+                )
+            except BaseException as exc:
+                self._on_failure(
+                    cases, keys, i, attempt, "exception", exc,
+                    stage, retry_q, manifest, counters,
+                )
+            else:
+                self._on_success(
+                    cases, keys, i, attempt, result, results,
+                    stage, retry_q, manifest, counters,
+                )
+
+    def _expire_overdue(
+        self,
+        cases: Sequence[Case],
+        keys: Sequence[str],
+        results: List[Optional[Dict[str, Any]]],
+        stage: str,
+        inflight: Dict[Future, Tuple[int, int]],
+        deadlines: Dict[Future, Optional[float]],
+        retry_q: List[Tuple[float, int, int]],
+        manifest: Optional[StageManifest],
+        counters: Dict[str, int],
+        workers: int,
+    ) -> None:
+        """Kill the pool under any case past its deadline.
+
+        A running future cannot be cancelled, so the pool (and with it
+        the hung worker) is torn down and rebuilt; in-flight cases that
+        were within deadline are resubmitted on their *current* attempt
+        — a neighbour's hang must not cost them retry budget.
+        """
+        now = time.monotonic()
+        overdue = {
+            future
+            for future, deadline in deadlines.items()
+            if deadline is not None and deadline <= now
+        }
+        if not overdue:
+            return
+        casualties = list(inflight.items())
+        inflight.clear()
+        deadlines.clear()
+        self._rebuild_pool(workers)
+        for future, (i, attempt) in casualties:
+            if future in overdue:
+                self._on_failure(
+                    cases, keys, i, attempt, "timeout",
+                    CaseTimeoutError(
+                        f"{cases[i]!r} exceeded {self.timeout}s"
+                    ),
+                    stage, retry_q, manifest, counters,
+                )
+            else:
+                self._submit(cases, i, attempt, inflight, deadlines)
+
+    # -- per-case outcomes ---------------------------------------------
+
+    def _on_success(
+        self,
+        cases: Sequence[Case],
+        keys: Sequence[str],
+        i: int,
+        attempt: int,
+        result: Any,
+        results: List[Optional[Dict[str, Any]]],
+        stage: str,
+        retry_q: List[Tuple[float, int, int]],
+        manifest: Optional[StageManifest],
+        counters: Dict[str, int],
+    ) -> None:
+        try:
+            result = ensure_result(cases[i], result)
+        except InvalidResultError as exc:
+            self._on_failure(
+                cases, keys, i, attempt, "invalid-result", exc,
+                stage, retry_q, manifest, counters,
+            )
+            return
+        results[i] = result
+        self._commit(i, cases[i], keys[i], result, attempt=attempt,
+                     manifest=manifest)
+
+    def _on_failure(
+        self,
+        cases: Sequence[Case],
+        keys: Sequence[str],
+        i: int,
+        attempt: int,
+        kind: str,
+        exc: BaseException,
+        stage: str,
+        retry_q: List[Tuple[float, int, int]],
+        manifest: Optional[StageManifest],
+        counters: Dict[str, int],
+    ) -> None:
+        if attempt <= self.retries:
+            counters["retried"] += 1
+            ready = time.monotonic() + self._backoff(keys[i], attempt)
+            heapq.heappush(retry_q, (ready, i, attempt + 1))
+            return
+        if self.failure_policy == "raise":
+            raise exc
+        self.report.add_failure(
+            FailureRecord(
+                stage=stage,
+                experiment=cases[i].experiment,
+                label=cases[i].label,
+                case_key=keys[i],
+                kind=kind,
+                message=str(exc),
+                attempts=attempt,
+            )
+        )
+        counters["failed"] += 1
+        if manifest is not None:
+            manifest.failed(
+                keys[i], label=cases[i].label, kind=kind, error=str(exc)
+            )
+
+    def _commit(
+        self,
+        i: int,
+        case: Case,
+        key: str,
+        result: Dict[str, Any],
+        attempt: int,
+        manifest: Optional[StageManifest],
+    ) -> None:
+        """Persist one finished case the moment it completes."""
+        if self.cache is not None:
+            self.cache.put(case, result)
+            spec = (
+                self.fault_plan.spec_for(i)
+                if self.fault_plan is not None
+                else None
+            )
+            if (
+                spec is not None
+                and spec.kind == "torn-write"
+                and spec.active(attempt)
+            ):
+                _faults.tear_cache_entry(self.cache, case)
+        if manifest is not None:
+            manifest.done(key, label=case.label)
+
+    def _backoff(self, key: str, attempt: int) -> float:
+        base = min(
+            self.backoff_max, self.backoff_base * (2.0 ** (attempt - 1))
+        )
+        # Deterministic jitter keyed on (case, attempt): reproducible
+        # schedules, yet retry storms still de-synchronise.
+        rng = random.Random(f"{key}:{attempt}")
+        return base * (1.0 + self.backoff_jitter * rng.random())
+
+    # -- pool plumbing -------------------------------------------------
+
+    def _make_pool(self, workers: int) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
             max_workers=workers,
             initializer=_init_worker,
             initargs=(list(sys.path),),
-        ) as pool:
-            futures = {pool.submit(execute_case, cases[i]): i for i in pending}
-            not_done = set(futures)
-            while not_done:
-                done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
-                for future in done:
-                    # .result() re-raises worker exceptions here, so a
-                    # failing case aborts the stage rather than leaving
-                    # a silent hole in the sweep.
-                    results[futures[future]] = future.result()
+        )
+
+    def _rebuild_pool(self, workers: int) -> None:
+        self._shutdown_pool(kill=True)
+        self._pool = self._make_pool(workers)
+
+    def _shutdown_pool(self, kill: bool = False) -> None:
+        pool = self._pool
+        self._pool = None
+        if pool is None:
+            return
+        if kill:
+            for proc in list((getattr(pool, "_processes", None) or {}).values()):
+                try:
+                    proc.terminate()
+                except Exception:
+                    pass
+            pool.shutdown(wait=False, cancel_futures=True)
+        else:
+            pool.shutdown(wait=True)
+
+    def _submit(
+        self,
+        cases: Sequence[Case],
+        i: int,
+        attempt: int,
+        inflight: Dict[Future, Tuple[int, int]],
+        deadlines: Dict[Future, Optional[float]],
+    ) -> None:
+        future = self._submit_future(cases, i, attempt)
+        inflight[future] = (i, attempt)
+        deadlines[future] = (
+            time.monotonic() + self.timeout
+            if self.timeout is not None
+            else None
+        )
+
+    def _submit_future(
+        self, cases: Sequence[Case], i: int, attempt: int
+    ) -> Future:
+        assert self._pool is not None
+        spec = (
+            self.fault_plan.spec_for(i) if self.fault_plan is not None
+            else None
+        )
+        if spec is not None:
+            return self._pool.submit(
+                _faults.run_case_with_fault, cases[i], spec, attempt
+            )
+        return self._pool.submit(execute_case, cases[i])
+
+    @staticmethod
+    def _wake_in(
+        deadlines: Dict[Future, Optional[float]],
+        retry_q: List[Tuple[float, int, int]],
+    ) -> Optional[float]:
+        """How long ``wait`` may block before a deadline or retry is due."""
+        now = time.monotonic()
+        candidates = [
+            deadline - now
+            for deadline in deadlines.values()
+            if deadline is not None
+        ]
+        if retry_q:
+            candidates.append(retry_q[0][0] - now)
+        if not candidates:
+            return None
+        return max(0.0, min(candidates))
 
 
 def execute_cases(

@@ -7,16 +7,24 @@ to control the on-disk result cache.  Results are deterministic: the
 tables are identical whatever the job count, and a warm-cache re-run
 skips the simulations entirely (the executor report at the end shows
 per-stage cache hits and timing).
+
+Fault tolerance: ``--timeout``, ``--retries``, and ``--failure-policy``
+configure per-case supervision for the executor-managed stages.  Under
+a skip policy a crashed or hung cell is recorded (and the process exits
+with code 3) instead of aborting the whole run; every completed cell is
+cached the moment it finishes, so re-running the same command resumes
+from the stage manifests and executes only the holes.
 """
 
 from __future__ import annotations
 
 import argparse
+import sys
 import time
 from pathlib import Path
 from typing import Optional
 
-from repro.exec import ResultCache, SweepExecutor, default_cache_dir
+from repro.exec import ResultCache, RunReport, SweepExecutor, default_cache_dir
 from repro.experiments import (
     buffer_pressure,
     convergence,
@@ -48,14 +56,23 @@ def run_all(
     jobs: int = 1,
     cache_dir: Optional[Path] = None,
     use_cache: bool = True,
-) -> None:
+    timeout: Optional[float] = None,
+    retries: int = 0,
+    failure_policy: str = "raise",
+) -> RunReport:
     scale = quick_scale() if quick else full_scale()
     cache = (
         ResultCache(cache_dir if cache_dir is not None else default_cache_dir())
         if use_cache
         else None
     )
-    executor = SweepExecutor(jobs=jobs, cache=cache)
+    executor = SweepExecutor(
+        jobs=jobs,
+        cache=cache,
+        timeout=timeout,
+        retries=retries,
+        failure_policy=failure_policy,
+    )
     ex = executor
     stages = [
         ("Figure 1", lambda: fig01_oscillation.main(scale, executor=ex)),
@@ -81,9 +98,19 @@ def run_all(
     for name, stage in stages:
         start = time.time()
         print(f"===== {name} " + "=" * max(0, 60 - len(name)))
-        stage()
+        try:
+            stage()
+        except Exception:
+            # Under a skip policy a stage may be unable to tabulate
+            # around failed cells; its completed cells are already
+            # cached, so press on and let the report tell the story.
+            if failure_policy == "raise" or not executor.report.failures:
+                raise
+            print(f"[{name} incomplete: "
+                  f"{len(executor.report.failures)} failed case(s) so far]")
         print(f"[{name} finished in {time.time() - start:.1f}s]\n")
     print(executor.report.render())
+    return executor.report
 
 
 def _positive_int(text: str) -> int:
@@ -117,13 +144,43 @@ def main() -> None:
         action="store_true",
         help="run every sweep cell even if a cached result exists",
     )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-case deadline for executor-managed stages",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="bounded retries per case (exponential backoff)",
+    )
+    parser.add_argument(
+        "--failure-policy",
+        choices=["raise", "skip", "retry-then-skip"],
+        default="raise",
+        help="abort on a terminal case failure, or record it and keep "
+             "the partial sweep (exit code 3; re-run to resume)",
+    )
     args = parser.parse_args()
-    run_all(
+    report = run_all(
         quick=args.quick,
         jobs=args.jobs,
         cache_dir=args.cache_dir,
         use_cache=not args.no_cache,
+        timeout=args.timeout,
+        retries=args.retries,
+        failure_policy=args.failure_policy,
     )
+    if report.failures:
+        print(
+            f"{len(report.failures)} case(s) failed; re-run the same "
+            "command to resume from the stage manifests",
+            file=sys.stderr,
+        )
+        raise SystemExit(3)
 
 
 if __name__ == "__main__":

@@ -3,7 +3,7 @@
 import json
 
 from repro.exec.cache import ResultCache, default_cache_dir
-from repro.exec.cases import Case, case_key
+from repro.exec.cases import CACHE_SCHEMA_VERSION, Case, case_key
 from tests.executor.stub_experiment import EXPERIMENT
 
 
@@ -46,6 +46,9 @@ class TestResultCache:
         )
         assert payload["experiment"] == EXPERIMENT
         assert payload["label"] == case.label
+        assert payload["schema"] == CACHE_SCHEMA_VERSION
+        assert payload["key"] == case_key(case)
+        assert payload["params"] == case.params
 
     def test_git_style_fanout_layout(self, tmp_path):
         cache = ResultCache(tmp_path)
@@ -59,3 +62,140 @@ class TestResultCache:
         assert default_cache_dir() == tmp_path / "c"
         monkeypatch.delenv("REPRO_CACHE_DIR")
         assert str(default_cache_dir()) == ".repro-cache"
+
+
+class TestQuarantine:
+    """Corrupt entries are moved aside, not silently treated as misses."""
+
+    def corrupt_entry(self, cache, case, text="{torn"):
+        path = cache._path(case_key(case))
+        path.write_text(text, encoding="utf-8")
+        return path
+
+    def test_corrupt_distinguished_from_absent(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        case = make_case()
+        assert cache.get(case) is None  # absent
+        assert (cache.misses, cache.corrupt) == (1, 0)
+        cache.put(case, {"value": 2})
+        self.corrupt_entry(cache, case)
+        assert cache.get(case) is None  # corrupt
+        assert (cache.misses, cache.corrupt) == (1, 1)
+        # The damaged file is gone, so the next read is a clean miss.
+        assert cache.get(case) is None
+        assert (cache.misses, cache.corrupt) == (2, 1)
+
+    def test_corrupt_entry_moved_to_quarantine(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        case = make_case()
+        cache.put(case, {"value": 2})
+        path = self.corrupt_entry(cache, case)
+        cache.get(case)
+        assert not path.exists()
+        quarantined = list(cache.quarantine_root.iterdir())
+        assert [p.name for p in quarantined] == [path.name]
+        assert quarantined[0].read_text(encoding="utf-8") == "{torn"
+
+    def test_repeated_quarantine_never_overwrites_evidence(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        case = make_case()
+        for round_ in range(3):
+            cache.put(case, {"value": round_})
+            self.corrupt_entry(cache, case, text=f"{{torn {round_}")
+            assert cache.get(case) is None
+        assert len(list(cache.quarantine_root.iterdir())) == 3
+
+    def test_key_mismatch_is_corrupt(self, tmp_path):
+        """A renamed/aliased file must not masquerade as another case."""
+        cache = ResultCache(tmp_path)
+        a, b = make_case(1), make_case(2)
+        cache.put(a, {"value": 1})
+        path_b = cache._path(case_key(b))
+        path_b.parent.mkdir(parents=True, exist_ok=True)
+        path_b.write_bytes(cache._path(case_key(a)).read_bytes())
+        assert cache.get(b) is None
+        assert cache.corrupt == 1
+        assert cache.get(a) == {"value": 1}  # the real entry is untouched
+
+    def test_stale_schema_is_orphaned_not_quarantined(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        case = make_case()
+        cache.put(case, {"value": 2})
+        path = cache._path(case_key(case))
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        payload["schema"] = CACHE_SCHEMA_VERSION + 999
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        assert cache.get(case) is None
+        assert (cache.stale, cache.corrupt) == (1, 0)
+        assert path.exists()  # left in place for gc
+
+    def test_legacy_unversioned_entry_is_stale(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        case = make_case()
+        path = cache._path(case_key(case))
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps({"experiment": EXPERIMENT, "label": case.label,
+                        "result": {"value": 2}}),
+            encoding="utf-8",
+        )
+        assert cache.get(case) is None
+        assert cache.stale == 1
+
+
+class TestMaintenance:
+    def populate(self, tmp_path, n=3):
+        cache = ResultCache(tmp_path)
+        for x in range(n):
+            cache.put(make_case(x), {"value": 2 * x})
+        return cache
+
+    def test_verify_clean_store(self, tmp_path):
+        cache = self.populate(tmp_path)
+        assert cache.verify() == {
+            "checked": 3, "ok": 3, "corrupt": 0, "stale": 0
+        }
+
+    def test_verify_quarantines_damage(self, tmp_path):
+        cache = self.populate(tmp_path)
+        cache._path(case_key(make_case(0))).write_text("x", encoding="utf-8")
+        outcome = cache.verify()
+        assert outcome["corrupt"] == 1
+        assert outcome["ok"] == 2
+        assert len(list(cache.quarantine_root.iterdir())) == 1
+        # And a re-verify is clean.
+        assert cache.verify()["corrupt"] == 0
+
+    def test_gc_reaps_quarantine_and_stale(self, tmp_path):
+        cache = self.populate(tmp_path)
+        cache._path(case_key(make_case(0))).write_text("x", encoding="utf-8")
+        cache.verify()
+        path = cache._path(case_key(make_case(1)))
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        payload["schema"] = CACHE_SCHEMA_VERSION + 1
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        outcome = cache.gc()
+        assert outcome == {"removed_entries": 1, "removed_quarantine": 1}
+        assert cache.get(make_case(2)) == {"value": 4}  # valid survives
+
+    def test_gc_age_horizon(self, tmp_path):
+        import os
+        import time
+
+        cache = self.populate(tmp_path, n=2)
+        old = cache._path(case_key(make_case(0)))
+        ancient = time.time() - 10 * 86400
+        os.utime(old, (ancient, ancient))
+        outcome = cache.gc(max_age_days=1.0)
+        assert outcome["removed_entries"] == 1
+        assert cache.get(make_case(1)) == {"value": 2}
+
+    def test_stats_shape(self, tmp_path):
+        cache = self.populate(tmp_path)
+        cache._path(case_key(make_case(0))).write_text("x", encoding="utf-8")
+        cache.get(make_case(0))  # quarantines
+        stats = cache.stats()
+        assert stats["entries"] == 2
+        assert stats["quarantined"] == 1
+        assert stats["bytes"] > 0
+        assert stats["experiments"] == {EXPERIMENT: 2}

@@ -1,0 +1,124 @@
+"""Unit tests for the deterministic fault-injection harness."""
+
+import pytest
+
+from repro.exec import ResultCache
+from repro.exec.cases import Case, case_key, execute_case
+from repro.exec.faults import (
+    DEMO_EXPERIMENT,
+    FAULT_KINDS,
+    FaultInjected,
+    FaultPlan,
+    FaultSpec,
+    demo_cases,
+    run_case_with_fault,
+    tear_cache_entry,
+)
+
+
+class TestFaultSpec:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            FaultSpec(kind="meltdown")
+
+    def test_rejects_nonpositive_fail_attempts(self):
+        with pytest.raises(ValueError):
+            FaultSpec(kind="error", fail_attempts=0)
+
+    def test_active_window(self):
+        spec = FaultSpec(kind="error", fail_attempts=2)
+        assert spec.active(1) and spec.active(2)
+        assert not spec.active(3)
+
+
+class TestFaultPlan:
+    def test_same_seed_same_schedule(self):
+        a = FaultPlan.from_rate(50, 0.3, seed=9, kinds=FAULT_KINDS)
+        b = FaultPlan.from_rate(50, 0.3, seed=9, kinds=FAULT_KINDS)
+        assert a.specs == b.specs
+
+    def test_faulted_set_stable_across_kind_lists(self):
+        a = FaultPlan.from_rate(50, 0.3, seed=9, kinds=("error",))
+        b = FaultPlan.from_rate(50, 0.3, seed=9, kinds=FAULT_KINDS)
+        assert a.faulted_indices() == b.faulted_indices()
+
+    def test_rate_bounds(self):
+        assert len(FaultPlan.from_rate(30, 0.0, seed=1)) == 0
+        assert len(FaultPlan.from_rate(30, 1.0, seed=1)) == 30
+        with pytest.raises(ValueError):
+            FaultPlan.from_rate(30, 1.5, seed=1)
+        with pytest.raises(ValueError):
+            FaultPlan.from_rate(30, 0.5, seed=1, kinds=())
+
+    def test_count_by_kind(self):
+        plan = FaultPlan.from_indices({
+            0: FaultSpec(kind="error"),
+            1: FaultSpec(kind="die"),
+            2: FaultSpec(kind="error"),
+        })
+        assert plan.count() == 3
+        assert plan.count("error") == 2
+        assert plan.count("die", "hang") == 1
+
+    def test_spec_for_unfaulted_index_is_none(self):
+        plan = FaultPlan.from_indices({1: FaultSpec(kind="error")})
+        assert plan.spec_for(0) is None
+        assert plan.spec_for(1).kind == "error"
+
+
+class TestWorkerSideInjection:
+    def test_no_spec_is_a_passthrough(self):
+        case = demo_cases(3)[2]
+        assert run_case_with_fault(case, None, 1) == execute_case(case)
+
+    def test_inactive_attempt_is_a_passthrough(self):
+        case = demo_cases(1)[0]
+        spec = FaultSpec(kind="error", fail_attempts=1)
+        assert run_case_with_fault(case, spec, 2) == execute_case(case)
+
+    def test_error_kind_raises(self):
+        with pytest.raises(FaultInjected):
+            run_case_with_fault(
+                demo_cases(1)[0], FaultSpec(kind="error"), 1
+            )
+
+    def test_corrupt_kind_returns_non_dict(self):
+        result = run_case_with_fault(
+            demo_cases(1)[0], FaultSpec(kind="corrupt"), 1
+        )
+        assert not isinstance(result, dict)
+
+    def test_torn_write_kind_executes_normally(self):
+        case = demo_cases(1)[0]
+        spec = FaultSpec(kind="torn-write")
+        assert run_case_with_fault(case, spec, 1) == execute_case(case)
+
+
+class TestTornWrites:
+    def test_tear_cache_entry_truncates_and_get_quarantines(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        case = demo_cases(1)[0]
+        cache.put(case, {"value": 1})
+        assert tear_cache_entry(cache, case)
+        reopened = ResultCache(tmp_path)
+        assert reopened.get(case) is None
+        assert reopened.corrupt == 1
+        assert not cache._path(case_key(case)).exists()
+        assert any(reopened.quarantine_root.iterdir())
+
+    def test_tear_without_entry_reports_false(self, tmp_path):
+        assert not tear_cache_entry(ResultCache(tmp_path), demo_cases(1)[0])
+
+
+class TestDemoExperiment:
+    def test_demo_cases_are_valid_executable_cases(self):
+        cases = demo_cases(4)
+        assert [c.experiment for c in cases] == [DEMO_EXPERIMENT] * 4
+        results = [execute_case(c) for c in cases]
+        assert [r["i"] for r in results] == [0, 1, 2, 3]
+        # Deterministic: same cell, same value, across calls.
+        assert execute_case(cases[2]) == results[2]
+
+    def test_demo_values_distinct(self):
+        values = {execute_case(c)["value"] for c in demo_cases(16)}
+        assert len(values) == 16

@@ -1,0 +1,91 @@
+"""Unit tests for the crash-safe stage manifest journal."""
+
+import json
+
+from repro.exec.manifest import StageManifest
+
+
+def manifest(tmp_path, keys=("k1", "k2", "k3"), stage="Figure 10"):
+    return StageManifest.for_stage(tmp_path, stage, keys)
+
+
+class TestJournal:
+    def test_round_trip(self, tmp_path):
+        m = manifest(tmp_path)
+        m.done("k1", label="a")
+        m.failed("k2", label="b", kind="timeout", error="too slow")
+        entries = m.load()
+        assert entries["k1"]["status"] == "done"
+        assert entries["k2"] == {
+            "status": "failed", "label": "b", "kind": "timeout",
+            "error": "too slow",
+        }
+
+    def test_latest_status_wins(self, tmp_path):
+        m = manifest(tmp_path)
+        m.failed("k1", kind="exception", error="boom")
+        m.done("k1")
+        assert m.load()["k1"]["status"] == "done"
+        assert m.completed_keys() == {"k1"}
+        assert m.failed_entries() == {}
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        assert manifest(tmp_path).load() == {}
+        assert manifest(tmp_path).completed_keys() == set()
+
+    def test_torn_final_line_is_ignored(self, tmp_path):
+        m = manifest(tmp_path)
+        m.done("k1")
+        m.done("k2")
+        with m.path.open("a", encoding="utf-8") as fh:
+            fh.write('{"key": "k3", "status": "do')  # crash mid-append
+        entries = m.load()
+        assert set(entries) == {"k1", "k2"}
+
+    def test_garbage_lines_are_skipped(self, tmp_path):
+        m = manifest(tmp_path)
+        m.done("k1")
+        with m.path.open("a", encoding="utf-8") as fh:
+            fh.write("not json at all\n")
+            fh.write(json.dumps(["a", "list"]) + "\n")
+            fh.write(json.dumps({"no_key_field": 1}) + "\n")
+        m.done("k2")
+        assert set(m.load()) == {"k1", "k2"}
+
+    def test_clear_forgets_the_ledger(self, tmp_path):
+        m = manifest(tmp_path)
+        m.done("k1")
+        m.clear()
+        assert m.load() == {}
+        m.clear()  # idempotent on a missing file
+
+
+class TestIdentity:
+    def test_same_stage_and_cases_share_a_path(self, tmp_path):
+        a = manifest(tmp_path, keys=("x", "y"))
+        b = manifest(tmp_path, keys=("y", "x"))  # order-insensitive
+        assert a.path == b.path
+
+    def test_different_case_sets_get_fresh_ledgers(self, tmp_path):
+        a = manifest(tmp_path, keys=("x", "y"))
+        b = manifest(tmp_path, keys=("x", "z"))
+        assert a.path != b.path
+
+    def test_different_stages_get_fresh_ledgers(self, tmp_path):
+        a = manifest(tmp_path, stage="Figure 10")
+        b = manifest(tmp_path, stage="Figure 11")
+        assert a.path != b.path
+
+    def test_stage_names_are_slugged(self, tmp_path):
+        m = manifest(tmp_path, stage="Fluid validation / fig 3!")
+        assert m.path.parent == tmp_path / "manifests"
+        assert "/" not in m.path.name.replace(".jsonl", "")
+        m.done("k1")  # and the path is actually writable
+        assert m.load()
+
+    def test_summary_counts(self, tmp_path):
+        m = manifest(tmp_path)
+        assert m.summary() is None
+        m.done("k1")
+        m.failed("k2")
+        assert "1 done, 1 failed" in m.summary()

@@ -1,0 +1,257 @@
+"""Executor failure paths: retry, timeout, broken pools, skip policies.
+
+Every test drives the real supervised pool through the deterministic
+fault harness (:mod:`repro.exec.faults`), so the failures are the real
+thing — raised exceptions, hard worker deaths, hung workers — not
+mocks.  Backoffs are kept tiny so the suite stays fast.
+"""
+
+import pytest
+from concurrent.futures.process import BrokenProcessPool
+
+from repro.exec import (
+    CaseTimeoutError,
+    FaultInjected,
+    FaultPlan,
+    FaultSpec,
+    ResultCache,
+    SweepExecutor,
+)
+from repro.exec.cases import Case
+from tests.executor.stub_experiment import EXPERIMENT
+
+
+def make_cases(n, **extra):
+    return [
+        Case(experiment=EXPERIMENT, label=f"x={x}", params={"x": x, **extra})
+        for x in range(n)
+    ]
+
+
+def supervisor(**kw):
+    kw.setdefault("jobs", 2)
+    kw.setdefault("backoff_base", 0.01)
+    return SweepExecutor(**kw)
+
+
+PERMANENT = 10**6
+
+
+class TestConstruction:
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(ValueError):
+            SweepExecutor(failure_policy="explode")
+
+    def test_rejects_bad_timeout_and_retries(self):
+        with pytest.raises(ValueError):
+            SweepExecutor(timeout=0)
+        with pytest.raises(ValueError):
+            SweepExecutor(retries=-1)
+
+    def test_retry_then_skip_implies_a_retry_budget(self):
+        assert SweepExecutor(failure_policy="retry-then-skip").retries > 0
+        assert SweepExecutor(
+            failure_policy="retry-then-skip", retries=5
+        ).retries == 5
+
+    def test_default_executor_is_unsupervised(self):
+        assert not SweepExecutor(jobs=4).supervised
+        assert SweepExecutor(timeout=1.0).supervised
+        assert SweepExecutor(retries=1).supervised
+        assert SweepExecutor(failure_policy="skip").supervised
+
+
+class TestRetry:
+    def test_transient_fault_retries_until_success(self):
+        plan = FaultPlan.from_indices(
+            {1: FaultSpec(kind="error", fail_attempts=2)}
+        )
+        ex = supervisor(retries=3, fault_plan=plan)
+        results = ex.run(make_cases(4), stage="retry")
+        assert [r["value"] for r in results] == [0, 2, 4, 6]
+        assert ex.report.stages[0].retried == 2
+        assert ex.report.failures == []
+
+    def test_exhausted_retries_raise_by_default(self):
+        plan = FaultPlan.from_indices(
+            {0: FaultSpec(kind="error", fail_attempts=PERMANENT)}
+        )
+        with pytest.raises(FaultInjected):
+            supervisor(retries=1, fault_plan=plan).run(make_cases(3))
+
+    def test_supervised_run_matches_inline_when_nothing_fails(self):
+        cases = make_cases(6)
+        baseline = SweepExecutor(jobs=1).run(cases)
+        supervised = supervisor(
+            jobs=3, retries=2, timeout=60.0,
+            failure_policy="retry-then-skip",
+        ).run(cases)
+        assert supervised == baseline
+
+
+class TestSkipPolicies:
+    def test_skip_leaves_hole_and_attributes_failure(self):
+        cases = make_cases(5)
+        plan = FaultPlan.from_indices(
+            {2: FaultSpec(kind="error", fail_attempts=PERMANENT)}
+        )
+        ex = supervisor(failure_policy="skip", fault_plan=plan)
+        results = ex.run(cases, stage="partial")
+        assert results[2] is None
+        assert [r["value"] for i, r in enumerate(results) if i != 2] == [
+            0, 2, 6, 8
+        ]
+        [record] = ex.report.failures
+        assert record.stage == "partial"
+        assert record.label == "x=2"
+        assert record.experiment == EXPERIMENT
+        assert record.kind == "exception"
+        assert record.attempts == 1
+        assert ex.report.stages[0].failed == 1
+        assert ex.report.stages[0].executed == 4
+
+    def test_invalid_result_is_a_retryable_failure(self):
+        plan = FaultPlan.from_indices(
+            {1: FaultSpec(kind="corrupt", fail_attempts=1)}
+        )
+        ex = supervisor(retries=1, fault_plan=plan)
+        results = ex.run(make_cases(3))
+        assert [r["value"] for r in results] == [0, 2, 4]
+        assert ex.report.stages[0].retried == 1
+
+    def test_invalid_result_terminal_failure_kind(self):
+        plan = FaultPlan.from_indices(
+            {1: FaultSpec(kind="corrupt", fail_attempts=PERMANENT)}
+        )
+        ex = supervisor(failure_policy="skip", fault_plan=plan)
+        results = ex.run(make_cases(3))
+        assert results[1] is None
+        assert ex.report.failures[0].kind == "invalid-result"
+
+
+class TestTimeout:
+    def test_hung_case_times_out_and_neighbours_survive(self):
+        cases = make_cases(5)
+        plan = FaultPlan.from_indices(
+            {1: FaultSpec(kind="hang", fail_attempts=PERMANENT,
+                          hang_seconds=30.0)}
+        )
+        ex = supervisor(timeout=0.5, failure_policy="skip", fault_plan=plan)
+        results = ex.run(cases, stage="hang")
+        assert results[1] is None
+        assert all(results[i] is not None for i in (0, 2, 3, 4))
+        [record] = ex.report.failures
+        assert record.kind == "timeout"
+        assert record.label == "x=1"
+
+    def test_transient_hang_retries_to_success(self):
+        plan = FaultPlan.from_indices(
+            {0: FaultSpec(kind="hang", fail_attempts=1, hang_seconds=30.0)}
+        )
+        ex = supervisor(timeout=0.5, retries=1, fault_plan=plan)
+        results = ex.run(make_cases(3))
+        assert [r["value"] for r in results] == [0, 2, 4]
+        assert ex.report.stages[0].retried == 1
+
+    def test_timeout_raises_under_raise_policy(self):
+        plan = FaultPlan.from_indices(
+            {0: FaultSpec(kind="hang", fail_attempts=PERMANENT,
+                          hang_seconds=30.0)}
+        )
+        with pytest.raises(CaseTimeoutError):
+            supervisor(timeout=0.4, fault_plan=plan).run(make_cases(2))
+
+
+class TestBrokenPool:
+    def test_worker_death_recovered_by_retry(self):
+        plan = FaultPlan.from_indices(
+            {2: FaultSpec(kind="die", fail_attempts=1)}
+        )
+        ex = supervisor(retries=2, fault_plan=plan)
+        results = ex.run(make_cases(6), stage="die")
+        assert [r["value"] for r in results] == [0, 2, 4, 6, 8, 10]
+        assert ex.report.stages[0].retried >= 1
+        assert ex.report.failures == []
+
+    def test_worker_death_attributed_under_skip(self):
+        cases = make_cases(6)
+        plan = FaultPlan.from_indices(
+            {3: FaultSpec(kind="die", fail_attempts=PERMANENT)}
+        )
+        ex = supervisor(failure_policy="skip", fault_plan=plan)
+        results = ex.run(cases, stage="die")
+        assert results[3] is None
+        assert all(results[i] is not None for i in (0, 1, 2, 4, 5))
+        [record] = ex.report.failures
+        assert record.kind == "pool-broken"
+        assert record.label == "x=3"
+
+    def test_worker_death_raises_without_retry(self):
+        plan = FaultPlan.from_indices(
+            {0: FaultSpec(kind="die", fail_attempts=PERMANENT)}
+        )
+        with pytest.raises(BrokenProcessPool):
+            supervisor(fault_plan=plan).run(make_cases(2))
+
+
+class TestAcceptance:
+    """The ISSUE 5 acceptance scenario, end to end."""
+
+    def test_20pct_faults_partial_results_then_clean_resume(self, tmp_path):
+        n = 20
+        cases = make_cases(n)
+        plan = FaultPlan.from_rate(
+            n, 0.2, seed=3, kinds=("error",), fail_attempts=PERMANENT
+        )
+        faulted = set(plan.faulted_indices())
+        assert 0 < len(faulted) < n  # the schedule actually bites
+
+        baseline = SweepExecutor(jobs=1).run(cases)
+
+        ex = supervisor(
+            cache=ResultCache(tmp_path / "cache"),
+            retries=1,
+            failure_policy="retry-then-skip",
+            fault_plan=plan,
+        )
+        results = ex.run(cases, stage="accept")
+
+        # Every non-faulted case's result is byte-identical to the
+        # fault-free run; every faulted case is a recorded hole.
+        for i in range(n):
+            if i in faulted:
+                assert results[i] is None
+            else:
+                assert results[i] == baseline[i]
+        assert {f.label for f in ex.report.failures} == {
+            cases[i].label for i in faulted
+        }
+        assert ex.report.stages[0].failed == len(faulted)
+
+        # Second invocation: resumes from manifest + cache, executing
+        # only the skipped cases, and completes the sweep exactly.
+        ex2 = supervisor(cache=ResultCache(tmp_path / "cache"))
+        results2 = ex2.run(cases, stage="accept")
+        assert results2 == baseline
+        stats = ex2.report.stages[0]
+        assert stats.executed == len(faulted)
+        assert stats.cache_hits == n - len(faulted)
+        assert stats.resumed == n  # every case had a manifest record
+
+
+class TestBackoff:
+    def test_backoff_grows_and_is_deterministic(self):
+        ex = SweepExecutor(
+            retries=3, backoff_base=0.1, backoff_max=1.0, backoff_jitter=0.5
+        )
+        first = [ex._backoff("k", attempt) for attempt in (1, 2, 3)]
+        again = [ex._backoff("k", attempt) for attempt in (1, 2, 3)]
+        assert first == again  # same case+attempt, same jitter
+        assert first[0] < first[1] < first[2]
+        assert all(0.1 <= d <= 1.5 for d in first)
+
+    def test_backoff_caps_at_max(self):
+        ex = SweepExecutor(
+            retries=8, backoff_base=0.1, backoff_max=0.3, backoff_jitter=0.0
+        )
+        assert ex._backoff("k", 8) == pytest.approx(0.3)
