@@ -181,14 +181,21 @@ def _run_figure(args: argparse.Namespace) -> int:
             retries=args.retries,
             failure_policy=args.failure_policy,
         )
+        failures_before = len(executor.report.failures)
         try:
             module.main(scale, executor=executor)
         except Exception:
             # Under a skip policy a figure may be unable to tabulate
             # around the holes; every completed cell is already durably
-            # cached, so report the partial state instead of a stack.
-            if not executor.report.failures:
+            # cached, so report the partial state instead of aborting —
+            # but only when this run actually recorded case failures,
+            # else the exception is a real bug and must propagate.  The
+            # traceback still goes to stderr either way.
+            if len(executor.report.failures) == failures_before:
                 raise
+            import traceback
+
+            traceback.print_exc(file=sys.stderr)
         # Telemetry on stderr so the figure table on stdout stays
         # byte-identical to a plain sequential run.
         print(executor.report.render(), file=sys.stderr)

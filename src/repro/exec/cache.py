@@ -87,7 +87,13 @@ class ResultCache:
 
     @staticmethod
     def _load_entry(path: Path, expected_key: str) -> Dict[str, Any]:
-        """Parse and validate one entry; :class:`_Corrupt` on any damage."""
+        """Parse and validate one entry; :class:`_Corrupt` on any damage.
+
+        ``OSError`` propagates: a concurrent runner's quarantine / gc /
+        unlink can win the race between listing a path and opening it,
+        and every caller treats that as "entry vanished" (a miss or a
+        skip), never as corruption.
+        """
         try:
             with path.open("r", encoding="utf-8") as fh:
                 payload = json.load(fh)
@@ -119,6 +125,11 @@ class ResultCache:
         except _Corrupt:
             self.quarantine(path)
             self.corrupt += 1
+            return None
+        except OSError:
+            # A concurrent quarantine/gc removed the file between the
+            # is_file() check and the open: an ordinary miss.
+            self.misses += 1
             return None
         if payload.get("schema") != CACHE_SCHEMA_VERSION:
             self.stale += 1
@@ -160,7 +171,10 @@ class ResultCache:
 
     def quarantine(self, path: Path) -> Optional[Path]:
         """Move a damaged entry aside; returns its new home (or None)."""
-        self.quarantine_root.mkdir(parents=True, exist_ok=True)
+        try:
+            self.quarantine_root.mkdir(parents=True, exist_ok=True)
+        except OSError:
+            return None
         dest = self.quarantine_root / path.name
         n = 0
         while dest.exists():
@@ -181,13 +195,17 @@ class ResultCache:
         """
         checked = ok = corrupt = stale = 0
         for path in list(self._entries()):
-            checked += 1
             try:
                 payload = self._load_entry(path, path.stem)
             except _Corrupt:
+                checked += 1
                 self.quarantine(path)
                 corrupt += 1
                 continue
+            except OSError:
+                # Vanished under a concurrent runner; nothing to check.
+                continue
+            checked += 1
             if payload.get("schema") != CACHE_SCHEMA_VERSION:
                 stale += 1
             else:
@@ -221,6 +239,8 @@ class ResultCache:
                     reap = True
             except _Corrupt:
                 reap = True
+            except OSError:
+                continue  # already gone; nothing to reap
             if not reap and horizon is not None:
                 try:
                     reap = path.stat().st_mtime < horizon
@@ -260,6 +280,8 @@ class ResultCache:
                 name = str(payload.get("experiment", "<unknown>"))
             except _Corrupt:
                 name = "<corrupt>"
+            except OSError:
+                continue  # vanished under a concurrent runner
             experiments[name] = experiments.get(name, 0) + 1
         quarantined = (
             sum(1 for _ in self.quarantine_root.iterdir())

@@ -13,10 +13,13 @@ and returns their results *in case order*:
 
 Supervision (all off by default):
 
-* ``timeout`` — a per-case deadline; an overdue case's worker pool is
-  torn down (the only way to stop a hung worker), innocent in-flight
-  cases are resubmitted without penalty, and the overdue case is
-  retried or failed;
+* ``timeout`` — a per-case deadline, measured from when the case is
+  handed to a worker (at most ``jobs`` cases are ever in flight, so a
+  submitted case starts immediately and queue wait never counts
+  against its deadline); an overdue case's worker pool is torn down
+  (the only way to stop a hung worker), innocent in-flight cases are
+  resubmitted without penalty, and the overdue case is retried or
+  failed;
 * ``retries`` / ``backoff_base`` / ``backoff_max`` / ``backoff_jitter``
   — bounded retries with exponential backoff and deterministic,
   case-keyed jitter;
@@ -77,6 +80,12 @@ FAILURE_POLICIES = ("raise", "skip", "retry-then-skip")
 
 #: Default retry budget "retry-then-skip" implies when none was given.
 DEFAULT_RETRIES = 2
+
+#: Deadline for re-running one suspect after a pool breakage when no
+#: per-case ``timeout`` was configured.  A probe must never block
+#: forever: the pool just broke, so a suspect that now hangs is part of
+#: the same pathology and has to be failed, not waited out.
+DEFAULT_PROBE_TIMEOUT = 300.0
 
 
 class CaseTimeoutError(TimeoutError):
@@ -162,8 +171,11 @@ class SweepExecutor:
         manifest = self._manifest_for(stage_name, keys)
         resumed = 0
         if manifest is not None:
-            prior = manifest.load()
-            resumed = sum(1 for key in keys if key in prior)
+            # Only completions count as resumed: a key whose latest
+            # status is "failed" is about to be re-executed, not
+            # carried over.
+            completed = manifest.completed_keys()
+            resumed = sum(1 for key in keys if key in completed)
 
         results: List[Optional[Dict[str, Any]]] = [None] * len(cases)
         pending: List[int] = []
@@ -255,7 +267,15 @@ class SweepExecutor:
             while inflight or retry_q:
                 now = time.monotonic()
                 broken_on_submit = False
-                while retry_q and retry_q[0][0] <= now:
+                # Keep at most ``workers`` cases in flight: a submitted
+                # case starts executing at once, so the deadline stamped
+                # at submit time is a true per-case execution deadline —
+                # queue wait must never count against ``timeout``.
+                while (
+                    retry_q
+                    and retry_q[0][0] <= now
+                    and len(inflight) < workers
+                ):
                     _, i, attempt = heapq.heappop(retry_q)
                     try:
                         self._submit(cases, i, attempt, inflight, deadlines)
@@ -284,7 +304,11 @@ class SweepExecutor:
                     continue
                 done, _ = wait(
                     set(inflight),
-                    timeout=self._wake_in(deadlines, retry_q),
+                    timeout=self._wake_in(
+                        deadlines,
+                        retry_q,
+                        slot_free=len(inflight) < workers,
+                    ),
                     return_when=FIRST_COMPLETED,
                 )
                 suspects: List[Tuple[int, int]] = []
@@ -347,17 +371,24 @@ class SweepExecutor:
         the worker, so running each suspect alone in the fresh pool is
         the attribution mechanism: the case that breaks its solo pool
         is the culprit (and spends an attempt); the others complete
-        normally at no retry cost.
+        normally at no retry cost.  In-flight is capped at ``workers``,
+        so the suspect set — and with it the serialized probe time,
+        bounded per suspect even when no ``timeout`` is configured — is
+        at most ``workers`` cases deep.
         """
+        probe_timeout = (
+            self.timeout if self.timeout is not None
+            else DEFAULT_PROBE_TIMEOUT
+        )
         for i, attempt in sorted(suspects):
             future = self._submit_future(cases, i, attempt)
-            done, _ = wait({future}, timeout=self.timeout)
+            done, _ = wait({future}, timeout=probe_timeout)
             if future not in done:
                 self._rebuild_pool(workers)
                 self._on_failure(
                     cases, keys, i, attempt, "timeout",
                     CaseTimeoutError(
-                        f"{cases[i]!r} exceeded {self.timeout}s"
+                        f"{cases[i]!r} exceeded {probe_timeout}s"
                     ),
                     stage, retry_q, manifest, counters,
                 )
@@ -586,15 +617,22 @@ class SweepExecutor:
     def _wake_in(
         deadlines: Dict[Future, Optional[float]],
         retry_q: List[Tuple[float, int, int]],
+        slot_free: bool,
     ) -> Optional[float]:
-        """How long ``wait`` may block before a deadline or retry is due."""
+        """How long ``wait`` may block before a deadline or retry is due.
+
+        A due retry only matters when a worker slot is free to take it;
+        with the pool saturated, the next wake signal is a completion
+        (which frees a slot) or a deadline — ignoring the retry queue
+        then avoids a busy spin at timeout zero.
+        """
         now = time.monotonic()
         candidates = [
             deadline - now
             for deadline in deadlines.values()
             if deadline is not None
         ]
-        if retry_q:
+        if retry_q and slot_free:
             candidates.append(retry_q[0][0] - now)
         if not candidates:
             return None

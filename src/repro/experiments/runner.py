@@ -21,6 +21,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+import traceback
 from pathlib import Path
 from typing import Optional
 
@@ -98,16 +99,21 @@ def run_all(
     for name, stage in stages:
         start = time.time()
         print(f"===== {name} " + "=" * max(0, 60 - len(name)))
+        failures_before = len(executor.report.failures)
         try:
             stage()
         except Exception:
             # Under a skip policy a stage may be unable to tabulate
             # around failed cells; its completed cells are already
             # cached, so press on and let the report tell the story.
-            if failure_policy == "raise" or not executor.report.failures:
+            # Only *this stage's* failures justify swallowing — an
+            # exception in a stage that recorded none (the report is
+            # shared across stages) is a real bug and propagates.
+            new_failures = len(executor.report.failures) - failures_before
+            if failure_policy == "raise" or new_failures == 0:
                 raise
-            print(f"[{name} incomplete: "
-                  f"{len(executor.report.failures)} failed case(s) so far]")
+            traceback.print_exc(file=sys.stderr)
+            print(f"[{name} incomplete: {new_failures} failed case(s)]")
         print(f"[{name} finished in {time.time() - start:.1f}s]\n")
     print(executor.report.render())
     return executor.report

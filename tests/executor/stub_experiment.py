@@ -8,6 +8,7 @@ process boundaries, so tests can tell a cache hit from a re-run.
 from __future__ import annotations
 
 import os
+import time
 
 
 EXPERIMENT = "tests.executor.stub_experiment"
@@ -18,6 +19,8 @@ def run_case(case) -> dict:
     if "log" in params:
         with open(params["log"], "a", encoding="utf-8") as fh:
             fh.write(f"{case.label} pid={os.getpid()}\n")
+    if params.get("sleep"):
+        time.sleep(params["sleep"])
     if params.get("explode"):
         raise RuntimeError(f"boom: {case.label}")
     return {"value": params["x"] * 2, "label": case.label}

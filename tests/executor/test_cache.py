@@ -143,6 +143,43 @@ class TestQuarantine:
         assert cache.stale == 1
 
 
+class TestConcurrentMutation:
+    """A concurrent runner's quarantine/gc can unlink an entry between
+    the directory listing (or ``is_file`` check) and the open; that race
+    must read as an ordinary miss / skip, never crash the sweep."""
+
+    def vanish_on_load(self, monkeypatch):
+        def gone(path, expected_key):
+            raise FileNotFoundError(path)
+
+        monkeypatch.setattr(ResultCache, "_load_entry", staticmethod(gone))
+
+    def test_get_counts_a_miss(self, tmp_path, monkeypatch):
+        cache = ResultCache(tmp_path)
+        case = make_case()
+        cache.put(case, {"value": 2})
+        self.vanish_on_load(monkeypatch)
+        assert cache.get(case) is None
+        assert (cache.misses, cache.corrupt) == (1, 0)
+
+    def test_verify_skips_vanished_entries(self, tmp_path, monkeypatch):
+        cache = ResultCache(tmp_path)
+        cache.put(make_case(), {"value": 2})
+        self.vanish_on_load(monkeypatch)
+        assert cache.verify() == {
+            "checked": 0, "ok": 0, "corrupt": 0, "stale": 0
+        }
+
+    def test_gc_and_stats_survive_vanished_entries(
+        self, tmp_path, monkeypatch
+    ):
+        cache = ResultCache(tmp_path)
+        cache.put(make_case(), {"value": 2})
+        self.vanish_on_load(monkeypatch)
+        assert cache.gc()["removed_entries"] == 0
+        assert cache.stats()["experiments"] == {}
+
+
 class TestMaintenance:
     def populate(self, tmp_path, n=3):
         cache = ResultCache(tmp_path)

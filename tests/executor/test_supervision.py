@@ -129,6 +129,21 @@ class TestSkipPolicies:
         assert ex.report.failures[0].kind == "invalid-result"
 
 
+class TestDeadlineClock:
+    def test_queue_wait_does_not_count_against_timeout(self):
+        # 24 cases x 0.2s on 2 workers: the stage takes ~2.4s, well past
+        # the 1.5s per-case deadline, but each case runs far inside it.
+        # Only queue wait separates the two — it must not be charged
+        # against the deadline (in-flight is capped at the worker
+        # count, so submit time is start time).
+        cases = make_cases(24, sleep=0.2)
+        ex = supervisor(timeout=1.5)
+        results = ex.run(cases, stage="queue-wait")
+        assert all(r is not None for r in results)
+        assert ex.report.failures == []
+        assert ex.report.stages[0].wall_seconds > 1.5
+
+
 class TestTimeout:
     def test_hung_case_times_out_and_neighbours_survive(self):
         cases = make_cases(5)
@@ -236,7 +251,9 @@ class TestAcceptance:
         stats = ex2.report.stages[0]
         assert stats.executed == len(faulted)
         assert stats.cache_hits == n - len(faulted)
-        assert stats.resumed == n  # every case had a manifest record
+        # Only completed cases count as resumed; the faulted ones were
+        # recorded as failed and are re-executed, not carried over.
+        assert stats.resumed == n - len(faulted)
 
 
 class TestBackoff:
