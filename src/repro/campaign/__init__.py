@@ -1,0 +1,28 @@
+"""Grid campaigns: declarative FCT studies on the leaf–spine fabric.
+
+The subsystem ROADMAP item 1 asks for: a
+:class:`~repro.campaign.grid.CampaignGrid` declares a
+K / (K1, K2) × offered-load × incast-fan-in × scenario × seeds grid;
+:func:`~repro.campaign.driver.run_campaign` expands it into
+:class:`~repro.exec.cases.Case` cells (module
+:mod:`repro.campaign.cells`), executes them through the fault-tolerant
+:class:`~repro.exec.executor.SweepExecutor`, and pools each cell's seed
+replicates into a censoring-aware
+:class:`~repro.campaign.aggregate.FctAggregate`.  The CLI front end is
+``python -m repro.cli campaign``.
+"""
+
+from repro.campaign.aggregate import FctAggregate, aggregate_fcts
+from repro.campaign.driver import CampaignResult, CellSummary, run_campaign
+from repro.campaign.grid import SCENARIOS, CampaignGrid, CellCoord
+
+__all__ = [
+    "SCENARIOS",
+    "CampaignGrid",
+    "CampaignResult",
+    "CellCoord",
+    "CellSummary",
+    "FctAggregate",
+    "aggregate_fcts",
+    "run_campaign",
+]

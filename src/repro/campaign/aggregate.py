@@ -1,0 +1,101 @@
+"""Censoring-aware FCT aggregation for campaign cells.
+
+Flows still in flight when a cell's window closes are right-censored:
+their (longest) completion times are missing from the sample.  Hiding
+that — computing p99 over the completed flows and presenting it as the
+p99 — is exactly the bias the campaign must not have, so every
+aggregate carries its censoring bookkeeping and each percentile is
+flagged when the censored sample cannot support it.
+
+The rule: with censoring rate ``c`` (incomplete / started), any
+percentile above the ``100·(1 - c)`` mark of the *true* FCT
+distribution is unidentifiable from the completed sample — the value
+computed over completed flows is then only a lower bound.  A cell with
+10 % censoring still reports an exact p50 but a lower-bound p95/p99;
+rendering marks those values ``>=``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["PERCENTILES", "FctAggregate", "aggregate_fcts"]
+
+#: The percentiles every campaign table reports.
+PERCENTILES = (50.0, 95.0, 99.0)
+
+
+@dataclasses.dataclass(frozen=True)
+class FctAggregate:
+    """Percentile summary of one FCT sample plus censoring facts.
+
+    ``percentiles`` maps "50"/"95"/"99" to the value over *completed*
+    flows (None when no flow completed); ``lower_bound`` marks the ones
+    the censoring rate makes unidentifiable — their value is a lower
+    bound on the truth, not an estimate of it.
+    """
+
+    n_started: int
+    n_completed: int
+    n_incomplete: int
+    censoring_rate: float
+    mean: Optional[float]
+    percentiles: Dict[str, Optional[float]]
+    lower_bound: Dict[str, bool]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    def describe(self, q: str, scale: float = 1e3, unit: str = "ms") -> str:
+        """One percentile as text, honest about censoring (e.g. ``>=3.1ms``)."""
+        value = self.percentiles[q]
+        if value is None:
+            return "n/a"
+        prefix = ">=" if self.lower_bound[q] else ""
+        return f"{prefix}{value * scale:.3f}{unit}"
+
+
+def aggregate_fcts(
+    fcts: Sequence[float],
+    n_started: int,
+    percentiles: Sequence[float] = PERCENTILES,
+) -> FctAggregate:
+    """Summarise one (possibly pooled-across-seeds) FCT sample.
+
+    ``n_started`` counts every launched flow, completed or not;
+    ``len(fcts)`` flows completed.  ``n_started < len(fcts)`` is a
+    caller bug and raises.
+    """
+    n_completed = len(fcts)
+    if n_started < n_completed:
+        raise ValueError(
+            f"n_started={n_started} < completed sample size {n_completed}"
+        )
+    n_incomplete = n_started - n_completed
+    rate = n_incomplete / n_started if n_started else 0.0
+
+    values: Dict[str, Optional[float]] = {}
+    bounds: Dict[str, bool] = {}
+    arr = np.asarray(fcts, dtype=float) if n_completed else None
+    for q in percentiles:
+        key = f"{q:g}"
+        if arr is None:
+            values[key] = None
+            bounds[key] = n_started > 0  # everything censored
+        else:
+            values[key] = float(np.percentile(arr, q))
+            # Identifiable only while the percentile lies inside the
+            # uncensored fraction of the distribution.
+            bounds[key] = q / 100.0 > 1.0 - rate
+    return FctAggregate(
+        n_started=n_started,
+        n_completed=n_completed,
+        n_incomplete=n_incomplete,
+        censoring_rate=rate,
+        mean=float(arr.mean()) if arr is not None else None,
+        percentiles=values,
+        lower_bound=bounds,
+    )

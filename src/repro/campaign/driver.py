@@ -1,0 +1,132 @@
+"""Campaign driver: grid -> executor -> censoring-aware cell summaries.
+
+:func:`run_campaign` expands a :class:`~repro.campaign.grid.CampaignGrid`
+into cases, runs them through a
+:class:`~repro.exec.executor.SweepExecutor` (inheriting its retries,
+timeouts, checkpoint-resume, and content-addressed cache), pools the
+seed replicates of every cell, and returns a :class:`CampaignResult`.
+
+Partial sweeps are first-class: under a ``skip`` failure policy a
+failed case leaves a ``None`` hole, which here becomes a missing seed
+on its cell — the cell still aggregates over the seeds that did land,
+``missing_seeds`` says which are absent, and a resume run (same cache)
+re-executes only those.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.campaign.aggregate import FctAggregate, aggregate_fcts
+from repro.campaign.grid import CampaignGrid, CellCoord
+from repro.exec.executor import SweepExecutor, execute_cases
+
+__all__ = ["CellSummary", "CampaignResult", "run_campaign"]
+
+
+@dataclasses.dataclass(frozen=True)
+class CellSummary:
+    """One grid cell, seeds pooled."""
+
+    coord: CellCoord
+    fct: FctAggregate
+    #: Seeds whose case failed (or was skipped); empty when complete.
+    missing_seeds: Tuple[int, ...]
+    #: Time-average bottleneck queue, averaged over available seeds.
+    mean_queue_pkts: float
+    fabric_marks: int
+    fabric_drops: int
+    incast_timeouts: int
+
+    @property
+    def complete(self) -> bool:
+        return not self.missing_seeds
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload = dataclasses.asdict(self)
+        payload["coord"]["protocol"] = self.coord.protocol
+        return payload
+
+
+@dataclasses.dataclass(frozen=True)
+class CampaignResult:
+    """The whole campaign: one summary per cell, in grid order."""
+
+    grid: CampaignGrid
+    cells: List[CellSummary]
+
+    @property
+    def complete(self) -> bool:
+        return all(cell.complete for cell in self.cells)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "grid": dataclasses.asdict(self.grid),
+            "cells": [cell.to_dict() for cell in self.cells],
+            "complete": self.complete,
+        }
+
+    def table_rows(self) -> List[Tuple]:
+        """Rows for :func:`repro.experiments.tables.print_table`."""
+        rows = []
+        for cell in self.cells:
+            fct = cell.fct
+            flows = f"{fct.n_completed}/{fct.n_started}"
+            if cell.missing_seeds:
+                flows += f" ({len(cell.missing_seeds)} seed(s) missing)"
+            rows.append(
+                (
+                    cell.coord.protocol,
+                    cell.coord.scenario,
+                    f"{cell.coord.load:g}",
+                    cell.coord.fan_in,
+                    flows,
+                    f"{fct.censoring_rate:.1%}",
+                    fct.describe("50"),
+                    fct.describe("95"),
+                    fct.describe("99"),
+                    f"{cell.mean_queue_pkts:.1f}",
+                )
+            )
+        return rows
+
+
+def run_campaign(
+    grid: CampaignGrid,
+    executor: Optional[SweepExecutor] = None,
+    stage: str = "campaign",
+) -> CampaignResult:
+    """Run every cell of ``grid`` and aggregate seeds per cell."""
+    cases = grid.expand()
+    raw = execute_cases(cases, executor, stage=stage)
+
+    cells: List[CellSummary] = []
+    n_seeds = len(grid.seeds)
+    for cell_idx, coord in enumerate(grid.coords()):
+        block = raw[cell_idx * n_seeds : (cell_idx + 1) * n_seeds]
+        missing = tuple(
+            seed for seed, result in zip(grid.seeds, block) if result is None
+        )
+        landed = [result for result in block if result is not None]
+        fcts: List[float] = []
+        started = 0
+        for result in landed:
+            fcts.extend(result["fcts"])
+            started += result["flows_started"]
+        cells.append(
+            CellSummary(
+                coord=coord,
+                fct=aggregate_fcts(fcts, started),
+                missing_seeds=missing,
+                mean_queue_pkts=(
+                    sum(r["mean_queue_pkts"] for r in landed) / len(landed)
+                    if landed
+                    else 0.0
+                ),
+                fabric_marks=sum(r["fabric_marks"] for r in landed),
+                fabric_drops=sum(r["fabric_drops"] for r in landed),
+                incast_timeouts=sum(r["incast_timeouts"] for r in landed),
+            )
+        )
+    return CampaignResult(grid=grid, cells=cells)

@@ -12,6 +12,11 @@ Commands:
 * ``bench``     — the :mod:`repro.perf` benchmark suite (engine
                   events/sec, link saturation, per-figure wall time),
                   written to ``BENCH_PR4.json``;
+* ``campaign``  — an FCT grid campaign on the leaf–spine fabric:
+                  K / (K1, K2) × offered load × incast fan-in ×
+                  scenario × seeds, run through the fault-tolerant
+                  executor with censoring-aware p50/p95/p99 aggregation
+                  (see :mod:`repro.campaign`);
 * ``faults``    — fault-injection smoke: runs a sweep with scheduled
                   crashes/hangs/corruption, asserts the non-faulted
                   results are byte-identical to a fault-free run, then
@@ -35,6 +40,9 @@ Examples::
         --failure-policy retry-then-skip
     python -m repro.cli simulate --flows 20 --protocol dctcp --duration 0.03
     python -m repro.cli incast --flows 35 --protocol dctcp
+    python -m repro.cli campaign --k 40 --k 65 --k1k2 30,50 \\
+        --loads 0.2,0.4 --fan-ins 0,8 --scenarios buildup,incast \\
+        --seeds 1,2,3 --jobs 8 --output campaign.json
     python -m repro.cli bench --quick
     python -m repro.cli bench --check BENCH_PR4.json --baseline old.json
     python -m repro.cli faults --cases 24 --rate 0.25 --jobs 4
@@ -305,6 +313,98 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_threshold_configs(args: argparse.Namespace):
+    """``--k``/``--k1k2`` occurrences -> threshold tuples, in CLI order."""
+    configs = [(k,) for k in (args.k or [])]
+    for pair in args.k1k2 or []:
+        parts = pair.split(",")
+        if len(parts) != 2:
+            raise SystemExit(f"--k1k2 wants 'K1,K2', got {pair!r}")
+        configs.append((float(parts[0]), float(parts[1])))
+    # Default: the paper's Fixed-K and DT-DCTCP simulation settings.
+    return tuple(configs) or ((40.0,), (30.0, 50.0))
+
+
+def _csv(text: str, cast):
+    return tuple(cast(part) for part in text.split(",") if part)
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    """Run one declarative FCT grid campaign on the leaf-spine fabric."""
+    import json
+
+    from repro.campaign import CampaignGrid, run_campaign
+    from repro.exec import ResultCache, SweepExecutor, default_cache_dir
+
+    try:
+        grid = CampaignGrid(
+            thresholds=_parse_threshold_configs(args),
+            loads=_csv(args.loads, float),
+            fan_ins=_csv(args.fan_ins, int),
+            scenarios=_csv(args.scenarios, str),
+            seeds=_csv(args.seeds, int),
+            n_leaves=args.leaves,
+            n_spines=args.spines,
+            hosts_per_leaf=args.hosts_per_leaf,
+            host_bandwidth_bps=args.host_bandwidth,
+            fabric_bandwidth_bps=args.fabric_bandwidth,
+            flow_bytes=args.flow_bytes,
+            duration=args.duration,
+            warmup=args.warmup,
+        )
+    except ValueError as exc:
+        print(f"invalid campaign grid: {exc}", file=sys.stderr)
+        return 2
+    cache = (
+        ResultCache(
+            args.cache_dir if args.cache_dir is not None
+            else default_cache_dir()
+        )
+        if not args.no_cache
+        else None
+    )
+    executor = SweepExecutor(
+        jobs=args.jobs,
+        cache=cache,
+        timeout=args.timeout,
+        retries=args.retries,
+        failure_policy=args.failure_policy,
+    )
+    result = run_campaign(grid, executor)
+    print_table(
+        [
+            "protocol",
+            "scenario",
+            "load",
+            "fan-in",
+            "flows",
+            "censored",
+            "FCT p50",
+            "FCT p95",
+            "FCT p99",
+            "queue (pkts)",
+        ],
+        result.table_rows(),
+        title=(
+            f"campaign - {grid.n_leaves}x{grid.n_spines} leaf-spine, "
+            f"{grid.n_cells} cells x {len(grid.seeds)} seeds"
+        ),
+    )
+    if args.output is not None:
+        with open(args.output, "w") as fh:
+            json.dump(result.to_dict(), fh, indent=2, sort_keys=True)
+        print(f"written: {args.output}")
+    print(executor.report.render(), file=sys.stderr)
+    if executor.report.failures:
+        print(
+            f"{len(executor.report.failures)} cell(s) failed; re-run the "
+            "same command to resume the missing seeds",
+            file=sys.stderr,
+        )
+        return 3
+    return 0
+
+
 def cmd_faults(args: argparse.Namespace) -> int:
     """Fault-injection smoke: partial completion, then clean resume.
 
@@ -513,6 +613,52 @@ def build_parser() -> argparse.ArgumentParser:
                    help="allowed fractional engine events/sec regression")
     _add_profile_args(p)
     p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser(
+        "campaign",
+        help="FCT grid campaign on the leaf-spine fabric",
+    )
+    p.add_argument("--k", type=float, action="append", metavar="K",
+                   help="one Fixed-K config in packets (repeatable)")
+    p.add_argument("--k1k2", type=str, action="append", metavar="K1,K2",
+                   help="one DT-DCTCP config in packets (repeatable); "
+                        "default grid when neither flag is given: "
+                        "--k 40 --k1k2 30,50")
+    p.add_argument("--loads", type=str, default="0.2,0.4",
+                   help="comma-separated offered loads "
+                        "(fraction of the client's access rate)")
+    p.add_argument("--fan-ins", type=str, default="0,8",
+                   help="comma-separated disturbance sizes "
+                        "(bulk flows / incast burst width; 0 = none)")
+    p.add_argument("--scenarios", type=str, default="buildup",
+                   help="comma-separated from {buildup, incast}")
+    p.add_argument("--seeds", type=str, default="1,2,3",
+                   help="comma-separated replicate seeds "
+                        "(also salt ECMP placement)")
+    p.add_argument("--leaves", type=_positive_int, default=3)
+    p.add_argument("--spines", type=_positive_int, default=2)
+    p.add_argument("--hosts-per-leaf", type=_positive_int, default=2)
+    p.add_argument("--host-bandwidth", type=float, default=10e9,
+                   metavar="BPS")
+    p.add_argument("--fabric-bandwidth", type=float, default=40e9,
+                   metavar="BPS")
+    p.add_argument("--flow-bytes", type=_positive_int, default=20 * 1024,
+                   help="short-flow transfer size")
+    p.add_argument("--duration", type=float, default=0.04,
+                   help="simulated window per cell (seconds)")
+    p.add_argument("--warmup", type=float, default=0.008,
+                   help="queue statistics discard this prefix (seconds)")
+    p.add_argument("--jobs", type=_positive_int, default=1,
+                   help="worker processes for the sweep executor")
+    p.add_argument("--cache-dir", type=Path, default=None,
+                   help="result cache directory "
+                        "(default $REPRO_CACHE_DIR or .repro-cache)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="ignore and bypass the result cache")
+    p.add_argument("--output", type=Path, default=None, metavar="PATH",
+                   help="also write the full aggregates as JSON")
+    _add_supervision_args(p)
+    p.set_defaults(func=cmd_campaign)
 
     p = sub.add_parser(
         "faults",

@@ -11,6 +11,16 @@ sustains.
 :class:`ShortFlowGenerator` launches fixed-size transfers from a
 dedicated sender with exponential (Poisson) inter-arrival times and
 records each flow's completion time.
+
+Censoring: flows still in flight when the simulation window closes have
+no completion time — ``completion_times`` holds only the finished ones.
+Under load that truncation is *not* harmless: the missing flows are
+exactly the slowest ones, so percentiles computed over
+``completion_times`` alone are biased low.  The generator therefore
+exposes ``flows_completed`` / ``flows_incomplete`` alongside
+``flows_started``, and the campaign aggregation
+(:mod:`repro.campaign.aggregate`) reports the censoring rate and flags
+tail percentiles that the censored sample cannot support.
 """
 
 from __future__ import annotations
@@ -64,6 +74,18 @@ class ShortFlowGenerator:
         #: Completion time of every finished short flow (seconds).
         self.completion_times: List[float] = []
         self.flows_started = 0
+
+    @property
+    def flows_completed(self) -> int:
+        """Flows whose last byte arrived within the simulated window."""
+        return len(self.completion_times)
+
+    @property
+    def flows_incomplete(self) -> int:
+        """Launched flows still in flight (right-censored: their — by
+        construction longest — FCTs are missing from
+        ``completion_times``)."""
+        return self.flows_started - self.flows_completed
 
     def start(self, delay: float = 0.0) -> None:
         if self._running:

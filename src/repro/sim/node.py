@@ -5,15 +5,20 @@ flow id to transport endpoint; every packet it originates leaves through
 the NIC, every packet it receives is handed to the matching endpoint.
 
 A :class:`Switch` owns one interface per attached link and a forwarding
-table from destination node id to the egress interface (filled by
-:mod:`repro.sim.routing`).  Forwarding is store-and-forward with the
-marking/dropping behaviour delegated to each egress interface's queue.
+table from destination node id to a *next-hop set* — one or more egress
+interfaces on equal-cost shortest paths (filled by
+:mod:`repro.sim.routing`).  A single-member set forwards directly; a
+multi-member set is ECMP: the egress is chosen by a deterministic,
+seeded hash of the packet's flow identity, so one flow always follows
+one path (no reordering) while distinct flows spread across the set.
+Forwarding is store-and-forward with the marking/dropping behaviour
+delegated to each egress interface's queue.
 """
 
 from __future__ import annotations
 
 import itertools
-from typing import Dict, List, Optional, Protocol, TYPE_CHECKING
+from typing import Dict, List, Optional, Protocol, Sequence, TYPE_CHECKING, Tuple
 
 from repro.sim.link import Interface
 from repro.sim.packet import Packet
@@ -21,9 +26,55 @@ from repro.sim.packet import Packet
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.engine import Simulator
 
-__all__ = ["Endpoint", "Node", "Host", "Switch"]
+__all__ = [
+    "Endpoint",
+    "Node",
+    "Host",
+    "Switch",
+    "flow_path_hash",
+    "reset_node_ids",
+]
 
 _node_ids = itertools.count()
+
+
+def reset_node_ids(start: int = 0) -> None:
+    """Begin a fresh node-id epoch.
+
+    Called by :class:`repro.sim.topology.Network` on construction: node
+    ids enter the ECMP path hash (as packet ``src``/``dst``), so a
+    scenario's flow placement must be a function of the scenario alone,
+    not of how many nodes earlier simulations in this process created.
+    Node ids are only ever compared *within* one network (FIB keys,
+    demux), so concurrent networks restarting from 0 cannot collide.
+    """
+    global _node_ids
+    _node_ids = itertools.count(start)
+
+_MASK64 = (1 << 64) - 1
+
+
+def flow_path_hash(flow_id: int, src: int, dst: int, salt: int) -> int:
+    """Deterministic 64-bit mix of a packet's flow identity.
+
+    Python's builtin ``hash`` is process-seeded for some types and
+    therefore unusable for reproducible ECMP; this is a fixed
+    splitmix64-style mix, so the same ``(flow, src, dst, salt)`` maps to
+    the same value in every process and on every platform.  ``salt`` is
+    the switch's ECMP seed — changing it re-shuffles flow placement
+    without touching flow or topology construction.
+    """
+    h = (
+        flow_id * 0x9E3779B97F4A7C15
+        + src * 0xC2B2AE3D27D4EB4F
+        + dst * 0x165667B19E3779F9
+        + salt * 0x27D4EB2F165667C5
+    ) & _MASK64
+    h ^= h >> 33
+    h = (h * 0xFF51AFD7ED558CCD) & _MASK64
+    h ^= h >> 33
+    h = (h * 0xC4CEB9FE1A85EC53) & _MASK64
+    return h ^ (h >> 33)
 
 
 class Endpoint(Protocol):
@@ -93,13 +144,17 @@ class Host(Node):
 
 
 class Switch(Node):
-    """Output-queued store-and-forward switch."""
+    """Output-queued store-and-forward switch with ECMP next-hop sets."""
 
-    def __init__(self, sim: "Simulator", name: str = ""):
+    def __init__(self, sim: "Simulator", name: str = "", ecmp_seed: int = 0):
         super().__init__(sim, name)
         self.interfaces: List[Interface] = []
-        #: destination node id -> egress interface
-        self.fib: Dict[int, Interface] = {}
+        #: destination node id -> equal-cost egress interface set (ECMP
+        #: group); a single-member tuple is plain unipath forwarding.
+        self.fib: Dict[int, Tuple[Interface, ...]] = {}
+        #: Salt for the per-flow path hash; one seed per fabric keeps
+        #: flow placement reproducible across runs and processes.
+        self.ecmp_seed = ecmp_seed
         self.packets_forwarded = 0
         self.packets_unroutable = 0
 
@@ -108,14 +163,44 @@ class Switch(Node):
         return interface
 
     def set_route(self, dst_node_id: int, interface: Interface) -> None:
-        if interface not in self.interfaces:
+        """Install a single next hop toward ``dst_node_id``."""
+        self.set_routes(dst_node_id, (interface,))
+
+    def set_routes(
+        self, dst_node_id: int, interfaces: Sequence[Interface]
+    ) -> None:
+        """Install an equal-cost next-hop set toward ``dst_node_id``."""
+        if not interfaces:
             raise ValueError(
-                f"interface {interface.name!r} does not belong to {self.name}"
+                f"next-hop set for node {dst_node_id} on {self.name} is empty"
             )
-        self.fib[dst_node_id] = interface
+        for interface in interfaces:
+            if interface not in self.interfaces:
+                raise ValueError(
+                    f"interface {interface.name!r} does not belong to "
+                    f"{self.name}"
+                )
+        self.fib[dst_node_id] = tuple(interfaces)
+
+    def route_for(self, packet: Packet) -> Optional[Interface]:
+        """The egress ``packet`` takes, or None when unroutable.
+
+        A multi-member next-hop set is resolved by the seeded flow hash:
+        all packets of one flow (one direction) pick the same member, so
+        ECMP never reorders within a flow.
+        """
+        group = self.fib.get(packet.dst)
+        if group is None:
+            return None
+        if len(group) == 1:
+            return group[0]
+        index = flow_path_hash(
+            packet.flow_id, packet.src, packet.dst, self.ecmp_seed
+        ) % len(group)
+        return group[index]
 
     def receive(self, packet: Packet) -> None:
-        egress = self.fib.get(packet.dst)
+        egress = self.route_for(packet)
         if egress is None:
             self.packets_unroutable += 1
             return

@@ -1,53 +1,119 @@
-"""Static shortest-path routing.
+"""Static shortest-path routing with equal-cost multipath.
 
 Experiments build a :class:`~repro.sim.topology.Network`, then call
 :func:`populate_routes` once: it computes hop-count shortest paths over
-the connectivity graph (via networkx) and installs, on every switch, the
-egress interface toward every host.  Hosts need no table — they have a
-single NIC.
+the connectivity graph and installs, on every switch, the *set* of
+egress interfaces on equal-cost shortest paths toward every host.
+Hosts need no table — they have a single NIC.
 
-Ties are broken deterministically by neighbour node id, so forwarding
-is reproducible run to run.
+Determinism: the graph is traversed with explicitly sorted adjacency
+(plain BFS over neighbour ids in ascending order), and a next-hop set
+lists its members sorted by neighbour node id — with parallel links to
+the same neighbour in connect order.  The FIB is therefore a pure
+function of the topology: permuting the ``connect`` calls that build a
+network leaves every switch's table identical (see
+:func:`fib_table`).  Earlier revisions delegated to
+``nx.single_source_shortest_path``, whose BFS follows edge-*insertion*
+order, so the single path it returned — and hence the FIB — silently
+depended on the order links were wired.
+
+Flow placement across a multi-member set is the switch's job
+(:meth:`~repro.sim.node.Switch.route_for`): a seeded per-flow hash, so
+one flow follows one path while distinct flows spread over the fabric.
 """
 
 from __future__ import annotations
 
-from typing import Dict, TYPE_CHECKING
+from collections import deque
+from typing import Dict, List, TYPE_CHECKING
 
-import networkx as nx
-
+from repro.sim.link import Interface
 from repro.sim.node import Host, Switch
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.topology import Network
 
-__all__ = ["populate_routes"]
+__all__ = ["populate_routes", "fib_table"]
 
 
-def populate_routes(network: "Network") -> None:
-    """Fill every switch's FIB with next hops toward every host."""
-    graph = nx.Graph()
-    for node in network.nodes:
-        graph.add_node(node.node_id)
+def _sorted_adjacency(network: "Network") -> Dict[int, List[int]]:
+    """Each node's neighbour ids, ascending, parallel links collapsed."""
+    neighbours: Dict[int, set] = {node.node_id: set() for node in network.nodes}
     for (a_id, b_id) in network.adjacency:
-        graph.add_edge(a_id, b_id)
+        neighbours[a_id].add(b_id)
+    return {
+        node_id: sorted(adjacent)
+        for node_id, adjacent in neighbours.items()
+    }
 
+
+def _bfs_distances(adjacency: Dict[int, List[int]], root: int) -> Dict[int, int]:
+    """Hop counts from ``root`` to every reachable node."""
+    dist = {root: 0}
+    frontier = deque([root])
+    while frontier:
+        node = frontier.popleft()
+        for neighbour in adjacency[node]:
+            if neighbour not in dist:
+                dist[neighbour] = dist[node] + 1
+                frontier.append(neighbour)
+    return dist
+
+
+def populate_routes(network: "Network", ecmp_seed: int = 0) -> None:
+    """Fill every switch's FIB with equal-cost next-hop sets per host.
+
+    A switch's set toward a host contains every interface to every
+    neighbour that lies on *some* hop-count shortest path, ordered by
+    neighbour node id (parallel links to one neighbour in connect
+    order).  ``ecmp_seed`` is stamped on every switch as the salt of
+    its per-flow path hash.
+    """
+    adjacency = _sorted_adjacency(network)
     hosts = [n for n in network.nodes if isinstance(n, Host)]
     switches = [n for n in network.nodes if isinstance(n, Switch)]
 
+    # One BFS per host (not per switch): every switch reads its
+    # distance to the host from the same tree.
+    host_dist = {
+        host.node_id: _bfs_distances(adjacency, host.node_id)
+        for host in hosts
+    }
+
     for switch in switches:
-        # Deterministic Dijkstra tree rooted at the switch.
-        paths: Dict[int, list] = nx.single_source_shortest_path(
-            graph, switch.node_id
-        )
+        switch.ecmp_seed = ecmp_seed
         for host in hosts:
-            path = paths.get(host.node_id)
-            if path is None:
+            dist = host_dist[host.node_id]
+            own = dist.get(switch.node_id)
+            if own is None:
                 raise ValueError(
                     f"host {host.name} unreachable from switch {switch.name}"
                 )
-            if len(path) < 2:
-                continue  # a switch is never a packet destination
-            next_hop_id = path[1]
-            interface = network.interface_between(switch.node_id, next_hop_id)
-            switch.set_route(host.node_id, interface)
+            next_hops: List[Interface] = []
+            for neighbour_id in adjacency[switch.node_id]:
+                if dist.get(neighbour_id) == own - 1:
+                    next_hops.extend(
+                        network.interfaces_between(
+                            switch.node_id, neighbour_id
+                        )
+                    )
+            switch.set_routes(host.node_id, next_hops)
+
+
+def fib_table(network: "Network") -> Dict[str, Dict[str, List[str]]]:
+    """The installed FIBs as plain names: switch -> host -> interfaces.
+
+    Keyed by node *names* (node ids are a process-global counter, so
+    they differ between otherwise identical networks); used by tests to
+    assert that permuting ``connect`` order leaves routing
+    byte-identical.
+    """
+    names = {node.node_id: node.name for node in network.nodes}
+    return {
+        switch.name: {
+            names[dst]: [iface.name for iface in group]
+            for dst, group in sorted(switch.fib.items())
+        }
+        for switch in network.nodes
+        if isinstance(switch, Switch)
+    }

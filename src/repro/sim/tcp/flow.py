@@ -16,9 +16,23 @@ from repro.sim.node import Host
 from repro.sim.tcp.receiver import TcpReceiver
 from repro.sim.tcp.sender import DctcpSender, TcpSender
 
-__all__ = ["Flow", "open_flow"]
+__all__ = ["Flow", "open_flow", "reset_flow_ids"]
 
 _flow_ids = itertools.count(1)
+
+
+def reset_flow_ids(start: int = 1) -> None:
+    """Begin a fresh flow-id epoch.
+
+    Called by :class:`repro.sim.topology.Network` on construction, for
+    the same reason packet uids are reset there: flow ids feed the
+    switches' ECMP path hash, so a scenario's flow placement must depend
+    only on the scenario — never on how many flows earlier simulations
+    in this process happened to open.  Demux is per-host, so concurrent
+    networks restarting from 1 cannot collide.
+    """
+    global _flow_ids
+    _flow_ids = itertools.count(start)
 
 
 @dataclasses.dataclass

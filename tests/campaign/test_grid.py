@@ -1,0 +1,128 @@
+"""Campaign grid expansion and cache-key stability."""
+
+import json
+
+import pytest
+
+from repro.campaign.grid import (
+    SCENARIOS,
+    CampaignGrid,
+    CellCoord,
+    threshold_label,
+)
+from repro.exec.cases import Case, case_key
+
+
+def grid(**overrides):
+    defaults = dict(
+        thresholds=((40.0,), (30.0, 50.0)),
+        loads=(0.2, 0.4),
+        fan_ins=(0, 8),
+        scenarios=("buildup",),
+        seeds=(1, 2),
+    )
+    defaults.update(overrides)
+    return CampaignGrid(**defaults)
+
+
+class TestExpansion:
+    def test_counts(self):
+        g = grid()
+        assert g.n_cells == 2 * 1 * 2 * 2
+        assert g.n_cases == g.n_cells * 2
+        assert len(g.expand()) == g.n_cases
+        assert len(list(g.coords())) == g.n_cells
+
+    def test_seeds_innermost(self):
+        cases = grid().expand()
+        # Consecutive cases differ only in seed within one cell block.
+        assert cases[0].params["seed"] == 1
+        assert cases[1].params["seed"] == 2
+        first = dict(cases[0].params)
+        second = dict(cases[1].params)
+        first.pop("seed")
+        second.pop("seed")
+        assert first == second
+
+    def test_expansion_order_is_nested_iteration(self):
+        g = grid(scenarios=("buildup", "incast"))
+        coords = list(g.coords())
+        expected = [
+            CellCoord(tuple(t), s, l, f)
+            for t in g.thresholds
+            for s in g.scenarios
+            for l in g.loads
+            for f in g.fan_ins
+        ]
+        assert coords == expected
+
+    def test_labels_readable(self):
+        labels = [case.label for case in grid().expand()]
+        assert labels[0] == "K=40/buildup/load=0.2/fan=0/seed=1"
+        assert "K1=30,K2=50" in labels[-1]
+        assert len(set(labels)) == len(labels)
+
+    def test_params_json_serialisable(self):
+        for case in grid().expand():
+            round_trip = json.loads(json.dumps(case.params))
+            assert round_trip == case.params
+
+    def test_threshold_label(self):
+        assert threshold_label((40.0,)) == "K=40"
+        assert threshold_label((30.0, 50.0)) == "K1=30,K2=50"
+        assert CellCoord((65.0,), "buildup", 0.2, 0).protocol == "K=65"
+
+
+class TestCacheKeyStability:
+    def test_two_expansions_key_identical(self):
+        """Equal grids expand to key-identical cases, whatever object
+        built them — this is what makes warm campaign re-runs all-hit."""
+        keys_a = [case_key(c) for c in grid().expand()]
+        keys_b = [case_key(c) for c in grid().expand()]
+        assert keys_a == keys_b
+        assert len(set(keys_a)) == len(keys_a)
+
+    def test_label_not_in_key(self):
+        case = grid().expand()[0]
+        relabelled = Case(
+            experiment=case.experiment,
+            label="something-else-entirely",
+            params=case.params,
+        )
+        assert case_key(case) == case_key(relabelled)
+
+    def test_any_param_change_changes_key(self):
+        base = case_key(grid().expand()[0])
+        for overrides in (
+            dict(seeds=(3, 4)),
+            dict(loads=(0.3, 0.4)),
+            dict(thresholds=((41.0,), (30.0, 50.0))),
+            dict(duration=0.05),
+            dict(n_spines=3),
+        ):
+            assert case_key(grid(**overrides).expand()[0]) != base
+
+
+class TestValidation:
+    @pytest.mark.parametrize("overrides", [
+        dict(thresholds=()),
+        dict(thresholds=((50.0, 30.0),)),          # K1 >= K2
+        dict(thresholds=((30.0, 30.0),)),
+        dict(thresholds=((-5.0,),)),
+        dict(thresholds=((10.0, 20.0, 30.0),)),    # arity
+        dict(loads=()),
+        dict(loads=(0.0,)),
+        dict(fan_ins=()),
+        dict(fan_ins=(-1,)),
+        dict(scenarios=("steady",)),
+        dict(seeds=()),
+        dict(seeds=(1, 1)),
+        dict(n_leaves=1),
+        dict(warmup=0.05, duration=0.04),
+    ])
+    def test_rejected(self, overrides):
+        with pytest.raises(ValueError):
+            grid(**overrides)
+
+    def test_scenarios_registry(self):
+        assert SCENARIOS == ("buildup", "incast")

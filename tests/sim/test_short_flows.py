@@ -103,6 +103,29 @@ class TestShortFlowGenerator:
         with pytest.raises(RuntimeError):
             gen.start()
 
+    def test_censoring_counts_exposed(self):
+        """Regression: flows in flight at window close used to vanish —
+        ``completion_times`` shrank with no tally anywhere, silently
+        biasing FCT percentiles low.  The generator must account for
+        every launched flow as completed or incomplete."""
+        nw, gen = self.make(arrival_rate=5000.0)
+        gen.start()
+        # Stop mid-window without draining: some flows are in flight.
+        nw.sim.run(until=0.005)
+        assert gen.flows_started > 0
+        assert gen.flows_completed == len(gen.completion_times)
+        assert gen.flows_incomplete == gen.flows_started - gen.flows_completed
+        assert gen.flows_incomplete > 0  # the censored tail exists
+
+    def test_censoring_clears_when_drained(self):
+        nw, gen = self.make()
+        gen.start()
+        nw.sim.run(until=0.01)
+        gen.stop()
+        nw.sim.run(until=1.0)
+        assert gen.flows_incomplete == 0
+        assert gen.flows_completed == gen.flows_started
+
 
 class TestQueueBuildupExperiment:
     def test_ecn_beats_droptail_on_fct(self):
