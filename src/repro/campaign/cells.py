@@ -193,6 +193,7 @@ def run_cell(params: Dict[str, Any]) -> Dict[str, Any]:
             if incast_app is not None
             else 0
         ),
+        "events_processed": fabric.sim.events_processed,
     }
 
 

@@ -11,7 +11,7 @@ Commands:
 * ``incast``    — one incast point on the testbed;
 * ``bench``     — the :mod:`repro.perf` benchmark suite (engine
                   events/sec, link saturation, per-figure wall time),
-                  written to ``BENCH_PR4.json``;
+                  written to ``BENCH_PR7.json``;
 * ``campaign``  — an FCT grid campaign on the leaf–spine fabric:
                   K / (K1, K2) × offered load × incast fan-in ×
                   scenario × seeds, run through the fault-tolerant
@@ -44,7 +44,7 @@ Examples::
         --loads 0.2,0.4 --fan-ins 0,8 --scenarios buildup,incast \\
         --seeds 1,2,3 --jobs 8 --output campaign.json
     python -m repro.cli bench --quick
-    python -m repro.cli bench --check BENCH_PR4.json --baseline old.json
+    python -m repro.cli bench --check BENCH_PR7.json --baseline old.json
     python -m repro.cli faults --cases 24 --rate 0.25 --jobs 4
     python -m repro.cli cache stats
 """
@@ -282,6 +282,13 @@ def cmd_bench(args: argparse.Namespace) -> int:
     import json
 
     from repro.perf import bench
+    from repro.sim.engine import set_default_event_queue
+    from repro.sim.packet_core import set_default_packet_core
+
+    if args.event_queue is not None:
+        set_default_event_queue(args.event_queue)
+    if args.packet_core is not None:
+        set_default_packet_core(args.packet_core)
 
     if args.check is not None:
         if args.baseline is None:
@@ -602,8 +609,16 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("bench", help="repro.perf benchmark suite")
     p.add_argument("--quick", action="store_true",
                    help="smaller sizes for the CI smoke job")
-    p.add_argument("--output", type=Path, default=Path("BENCH_PR4.json"),
+    p.add_argument("--output", type=Path, default=Path("BENCH_PR7.json"),
                    help="where to write the JSON payload")
+    p.add_argument("--event-queue", choices=["calendar", "heap"],
+                   default=None,
+                   help="pin the event-queue kernel for this run "
+                        "(default: REPRO_EVENT_QUEUE or 'calendar')")
+    p.add_argument("--packet-core", choices=["flat", "object"],
+                   default=None,
+                   help="pin the packet core for this run "
+                        "(default: REPRO_PACKET_CORE or 'flat')")
     p.add_argument("--check", type=Path, default=None, metavar="CURRENT",
                    help="compare a payload against --baseline instead of "
                         "running benchmarks")

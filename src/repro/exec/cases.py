@@ -33,7 +33,8 @@ __all__ = [
 
 #: Bump when the meaning of cached results changes (simulator semantics,
 #: result layout) so stale cache entries are never replayed.
-CACHE_SCHEMA_VERSION = 1
+#: v2: campaign cells report ``events_processed`` (ISSUE 7).
+CACHE_SCHEMA_VERSION = 2
 
 
 @dataclasses.dataclass(frozen=True)

@@ -3,8 +3,18 @@
 Micro to macro, mirroring where the wall clock actually goes:
 
 * :func:`bench_engine` — raw event-loop dispatch (schedule + pop +
-  callback), no networking at all; :func:`bench_handle_pool` isolates
+  callback), no networking at all.  The headline drives the
+  fire-and-forget :meth:`~repro.sim.engine.Simulator.post` lane the
+  simulator's own hot paths use; ``api="schedule"`` measures the
+  handle-returning lane instead, and :func:`bench_handle_pool` isolates
   the :class:`~repro.sim.engine.EventHandle` free list's share of it;
+* :func:`bench_kernel_matrix` — the same dispatch workload under the
+  calendar-queue kernel and the binary-heap oracle, in one process, so
+  the ISSUE 7 calendar speedup is measured on identical interpreter
+  state;
+* :func:`bench_fabric` — one PR 6 leaf-spine campaign cell end to end
+  (ECMP fabric, short-flow generators, queue monitors), the macro
+  workload whose event mix the calendar queue is tuned for;
 * :func:`bench_timer_churn` — the RTO re-arm path a sender executes per
   delivered segment, under the soft-deadline model and the eager
   cancel-per-ACK oracle;
@@ -21,7 +31,9 @@ Micro to macro, mirroring where the wall clock actually goes:
   cares about.
 
 :func:`run_benchmarks` bundles everything into one JSON-serialisable
-payload (written to ``BENCH_PR4.json`` by the CLI) and
+payload (written to ``BENCH_PR7.json`` by the CLI) — stamped with a
+``kernel`` block recording the event-queue and packet-core
+implementations and pool limits the numbers were measured under — and
 :func:`check_regression` compares two such payloads for the CI smoke
 job.
 """
@@ -36,61 +48,102 @@ from typing import Any, Dict, List, Optional
 
 from repro.sim.engine import (
     Simulator,
+    default_event_queue,
+    event_queue,
     handle_pool_limit,
     handle_pool_size,
     set_handle_pool_limit,
 )
-from repro.sim.link import Interface, link_model
+from repro.sim.link import Interface, default_link_model, link_model
 from repro.sim.packet import Packet, packet_pool_size
+from repro.sim.packet_core import default_packet_core
 from repro.sim.queues import FifoQueue
-from repro.sim.tcp.sender import TcpSender, timer_model
+from repro.sim.tcp.sender import TcpSender, default_timer_model, timer_model
 from repro.sim.trace import TrackedFifoQueue
 
 __all__ = [
     "bench_engine",
+    "bench_kernel_matrix",
     "bench_link",
     "bench_packet_pool",
     "bench_timer_churn",
     "bench_tracked_queue",
     "bench_handle_pool",
+    "bench_fabric",
     "bench_figures",
+    "kernel_metadata",
     "run_benchmarks",
     "check_regression",
 ]
 
 
+def kernel_metadata() -> Dict[str, Any]:
+    """The kernel configuration a payload's numbers were measured under.
+
+    Stamped into every benchmark payload so two JSON files can be
+    compared knowing whether they exercised the same implementations —
+    a calendar-vs-heap delta is a finding, not a regression.
+    """
+    from repro.sim.packet import _MAX_POOL as packet_pool_max
+
+    return {
+        "event_queue": default_event_queue(),
+        "packet_core": default_packet_core(),
+        "link_model": default_link_model(),
+        "timer_model": default_timer_model(),
+        "handle_pool_limit": handle_pool_limit(),
+        "packet_pool_limit": packet_pool_max,
+        "python": sys.version.split()[0],
+    }
+
+
 def bench_engine(
-    n_events: int = 300_000, n_tickers: int = 64, repeats: int = 3
+    n_events: int = 300_000,
+    n_tickers: int = 64,
+    repeats: int = 3,
+    api: str = "post",
+    kernel: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Pure event-loop throughput: self-rescheduling ticker callbacks.
 
-    ``n_tickers`` concurrent tickers keep the heap at a realistic depth
-    (a dumbbell run holds tens of pending events, not one).  Best of
+    ``n_tickers`` concurrent tickers keep the pending set at a realistic
+    depth (a dumbbell run holds tens of pending events, not one).  The
+    default ``api="post"`` drives the fire-and-forget lane — the pattern
+    link delivery, queue sampling and flow launch actually use since
+    ISSUE 7 — while ``api="schedule"`` measures the handle-returning
+    lane (the RTO-timer pattern, and what :func:`bench_handle_pool`
+    toggles the free list under).  ``kernel`` pins the event-queue
+    implementation; ``None`` uses the process default.  Best of
     ``repeats`` timed runs after one warmup, like the other benches —
     a single cold pass under-reads small (quick/CI) sizes by 20-30%.
     """
+    if api not in ("post", "schedule"):
+        raise ValueError(f"unknown api {api!r}; choose 'post' or 'schedule'")
 
     def once(budget: int) -> Dict[str, Any]:
-        sim = Simulator()
+        sim = Simulator(event_queue=kernel)
         remaining = budget
+        arm = sim.post if api == "post" else sim.schedule
 
         def tick(period: float) -> None:
             nonlocal remaining
             remaining -= 1
             if remaining > 0:
-                sim.schedule(period, tick, period)
+                arm(period, tick, period)
             else:
                 sim.stop()
 
         for i in range(n_tickers):
-            # Irregular periods so heap order actually gets exercised.
-            sim.schedule(0.0, tick, 1e-6 * (1.0 + i / n_tickers))
+            # Irregular periods so pop order actually gets exercised.
+            arm(0.0, tick, 1e-6 * (1.0 + i / n_tickers))
         start = time.perf_counter()
         sim.run()
         elapsed = time.perf_counter() - start
         return {
             "n_events": sim.events_processed,
             "n_tickers": n_tickers,
+            "api": api,
+            "event_queue": sim.event_queue_impl,
             "wall_s": elapsed,
             "events_per_sec": sim.events_processed / elapsed,
         }
@@ -98,6 +151,89 @@ def bench_engine(
     once(max(n_events // 10, n_tickers))  # warmup
     results = [once(n_events) for _ in range(max(repeats, 1))]
     return max(results, key=lambda r: r["events_per_sec"])
+
+
+def bench_kernel_matrix(
+    n_events: int = 300_000, n_tickers: int = 64, repeats: int = 3
+) -> Dict[str, Any]:
+    """The dispatch workload under both event-queue kernels, both APIs.
+
+    Interleaved in one process so the ISSUE 7 acceptance number — the
+    calendar queue's speedup over the PR 4 heap on identical hardware
+    and interpreter state — is read off directly.  ``speedup`` compares
+    the post lane (the simulator's hot path); ``speedup_schedule`` the
+    handle-returning lane.
+    """
+    cells: Dict[str, Dict[str, Any]] = {}
+    for kernel in ("calendar", "heap"):
+        for api in ("post", "schedule"):
+            cells[f"{kernel}_{api}"] = bench_engine(
+                n_events=n_events,
+                n_tickers=n_tickers,
+                repeats=repeats,
+                api=api,
+                kernel=kernel,
+            )
+    return {
+        **cells,
+        "speedup": (
+            cells["calendar_post"]["events_per_sec"]
+            / cells["heap_post"]["events_per_sec"]
+        ),
+        "speedup_schedule": (
+            cells["calendar_schedule"]["events_per_sec"]
+            / cells["heap_schedule"]["events_per_sec"]
+        ),
+    }
+
+
+def bench_fabric(repeats: int = 2) -> Dict[str, Any]:
+    """One leaf-spine campaign cell end to end, under the default kernel.
+
+    The PR 6 fabric workload — ECMP hashing, per-hop queues, short-flow
+    generators, 20 us queue sampling — has a very different event mix
+    from the micro benches (many distinct callbacks, bursty ties at
+    hop boundaries), which is exactly what the calendar queue's bucket
+    sizing has to cope with.  Events/sec here is the honest macro
+    number: simulator events retired per wall second while doing real
+    protocol work.
+
+    The cell spec is pinned (no quick/full split): events/sec for this
+    bench is scale-sensitive — topology construction and flow-generator
+    setup don't amortize over a shorter cell — so the CI quick run and
+    the committed baseline must measure the exact same cell for the
+    regression gate to compare like for like.
+    """
+    from repro.campaign.cells import run_cell
+    from repro.campaign.grid import CampaignGrid
+
+    grid = CampaignGrid(
+        thresholds=((40.0,),),
+        loads=(0.4,),
+        fan_ins=(4,),
+        scenarios=("buildup",),
+        seeds=(1,),
+        duration=0.01,
+        warmup=0.002,
+    )
+    params = grid.expand()[0].params
+
+    best: Dict[str, Any] = {}
+    run_cell(dict(params, duration=params["duration"] / 4))  # warmup
+    for _ in range(max(repeats, 1)):
+        start = time.perf_counter()
+        result = run_cell(params)
+        elapsed = time.perf_counter() - start
+        events = result["events_processed"]
+        if not best or elapsed < best["wall_s"]:
+            best = {
+                "duration": params["duration"],
+                "flows_completed": result["flows_completed"],
+                "events_processed": events,
+                "wall_s": elapsed,
+                "events_per_sec": events / elapsed,
+            }
+    return best
 
 
 class _Blaster:
@@ -415,14 +551,19 @@ def bench_tracked_queue(n_pairs: int = 100_000, repeats: int = 3) -> Dict[str, A
 
 
 def bench_handle_pool(n_events: int = 200_000) -> Dict[str, Any]:
-    """Event-loop throughput with the handle free list on vs off."""
+    """Event-loop throughput with the handle free list on vs off.
+
+    Measured on the ``schedule`` lane — the ``post`` lane never
+    allocates an :class:`EventHandle`, so the free list is invisible
+    there by construction.
+    """
     limit = handle_pool_limit()
     try:
         # bench_engine warms up and takes best-of internally.
         set_handle_pool_limit(0)
-        disabled = bench_engine(n_events=n_events)
+        disabled = bench_engine(n_events=n_events, api="schedule")
         set_handle_pool_limit(limit)
-        enabled = bench_engine(n_events=n_events)
+        enabled = bench_engine(n_events=n_events, api="schedule")
     finally:
         set_handle_pool_limit(limit)
     return {
@@ -487,15 +628,18 @@ def run_benchmarks(quick: bool = False) -> Dict[str, Any]:
     """The full suite; ``quick`` shrinks sizes for the CI smoke job."""
     scale = 10 if quick else 1
     payload: Dict[str, Any] = {
-        "schema": "repro-bench-v2",
+        "schema": "repro-bench-v3",
         "python": sys.version.split()[0],
         "platform": platform.platform(),
+        "kernel": kernel_metadata(),
         "engine": bench_engine(n_events=300_000 // scale),
+        "kernel_matrix": bench_kernel_matrix(n_events=300_000 // scale),
         "link": bench_link(n_packets=100_000 // scale),
         "packet_pool": bench_packet_pool(n=200_000 // scale),
         "handle_pool": bench_handle_pool(n_events=200_000 // scale),
         "timer_churn": bench_timer_churn(n_acks=200_000 // scale),
         "tracked_queue": bench_tracked_queue(n_pairs=100_000 // scale),
+        "fabric": bench_fabric(),
         "figures": bench_figures(quick=quick),
     }
     return payload
@@ -508,12 +652,14 @@ def check_regression(
 ) -> Optional[str]:
     """None if ``current`` holds up against ``baseline``, else a reason.
 
-    Three gates are enforced (the CI contract): engine events/sec,
-    timer-churn soft-deadline ACKs/sec (both higher-is-better) and the
-    tracked queue's streaming overhead per event (lower-is-better).
-    Gates whose keys the baseline payload predates are skipped, so a new
-    benchmark can land in the same PR that first records it.  Everything
-    else in the payload is trajectory data.
+    Five gates are enforced (the CI contract): engine events/sec, the
+    calendar kernel's dispatch rate and the leaf-spine fabric cell's
+    events/sec (all higher-is-better), timer-churn soft-deadline
+    ACKs/sec (higher-is-better) and the tracked queue's streaming
+    overhead per event (lower-is-better).  Gates whose keys the
+    baseline payload predates are skipped, so a new benchmark can land
+    in the same PR that first records it.  Everything else in the
+    payload is trajectory data.
     """
     cur = current["engine"]["events_per_sec"]
     base = baseline["engine"]["events_per_sec"]
@@ -523,6 +669,28 @@ def check_regression(
             f"engine events/sec regressed: {cur:,.0f} < {floor:,.0f} "
             f"(baseline {base:,.0f}, tolerance {tolerance:.0%})"
         )
+
+    if "kernel_matrix" in baseline and "kernel_matrix" in current:
+        cur = current["kernel_matrix"]["calendar_post"]["events_per_sec"]
+        base = baseline["kernel_matrix"]["calendar_post"]["events_per_sec"]
+        floor = base * (1.0 - tolerance)
+        if cur < floor:
+            return (
+                f"calendar-kernel events/sec regressed: {cur:,.0f} < "
+                f"{floor:,.0f} (baseline {base:,.0f}, "
+                f"tolerance {tolerance:.0%})"
+            )
+
+    if "fabric" in baseline and "fabric" in current:
+        cur = current["fabric"]["events_per_sec"]
+        base = baseline["fabric"]["events_per_sec"]
+        floor = base * (1.0 - tolerance)
+        if cur < floor:
+            return (
+                f"fabric-cell events/sec regressed: {cur:,.0f} < "
+                f"{floor:,.0f} (baseline {base:,.0f}, "
+                f"tolerance {tolerance:.0%})"
+            )
 
     if "timer_churn" in baseline and "timer_churn" in current:
         cur = current["timer_churn"]["soft_deadline"]["events_per_sec"]
@@ -550,8 +718,27 @@ def check_regression(
 
 def render_summary(payload: Dict[str, Any]) -> str:
     """Human-readable digest of a benchmark payload."""
-    lines = [
-        f"engine   : {payload['engine']['events_per_sec']:>12,.0f} events/s",
+    lines = []
+    if "kernel" in payload:
+        k = payload["kernel"]
+        lines.append(
+            f"kernel   : event-queue={k['event_queue']} "
+            f"packet-core={k['packet_core']} link={k['link_model']} "
+            f"timers={k['timer_model']} (python {k['python']})"
+        )
+    lines.append(
+        f"engine   : {payload['engine']['events_per_sec']:>12,.0f} events/s"
+    )
+    if "kernel_matrix" in payload:
+        km = payload["kernel_matrix"]
+        lines.append(
+            f"kernels  : calendar "
+            f"{km['calendar_post']['events_per_sec']:,.0f} vs heap "
+            f"{km['heap_post']['events_per_sec']:,.0f} events/s post "
+            f"(speedup {km['speedup']:.2f}x; schedule lane "
+            f"{km['speedup_schedule']:.2f}x)"
+        )
+    lines += [
         (
             f"link     : {payload['link']['busy_until']['packets_per_sec']:>12,.0f}"
             f" pkts/s busy-until vs "
@@ -585,6 +772,13 @@ def render_summary(payload: Dict[str, Any]) -> str:
             f" vs {tq['list_overhead_ns']:.0f}ns list-based "
             f"({tq['overhead_ratio']:.2f}x lower), "
             f"full-trace {tq['full_overhead_ns']:.0f}ns"
+        )
+    if "fabric" in payload:
+        fb = payload["fabric"]
+        lines.append(
+            f"fabric   : {fb['events_per_sec']:>12,.0f} events/s over a "
+            f"{fb['duration'] * 1e3:.0f}ms leaf-spine cell "
+            f"({fb['flows_completed']} flows, {fb['wall_s']:.3f}s wall)"
         )
     for name, cell in payload["figures"].items():
         lines.append(f"figure   : {name:<20} {cell['wall_s']:.3f}s")

@@ -123,7 +123,7 @@ class FanInApp:
         if self._started:
             raise RuntimeError("fan-in app already started")
         self._started = True
-        self.sim.schedule(delay, self._launch_query)
+        self.sim.post(delay, self._launch_query)
 
     def overall_goodput_bps(self) -> float:
         """Aggregate goodput over all completed queries (Figure 14's metric)."""
@@ -179,6 +179,6 @@ class FanInApp:
             flow.close()
         self._active_flows = []
         if not self.done:
-            self.sim.schedule(self.think_time, self._launch_query)
+            self.sim.post(self.think_time, self._launch_query)
         elif self.on_done is not None:
             self.on_done()

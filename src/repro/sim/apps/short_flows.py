@@ -91,7 +91,7 @@ class ShortFlowGenerator:
         if self._running:
             raise RuntimeError("generator already started")
         self._running = True
-        self.sim.schedule(delay + self._next_gap(), self._launch)
+        self.sim.post(delay + self._next_gap(), self._launch)
 
     def stop(self) -> None:
         """Stop launching new flows (in-flight ones run to completion)."""
@@ -127,4 +127,4 @@ class ShortFlowGenerator:
         self._active.append(flow)
         self.flows_started += 1
         flow.start()
-        self.sim.schedule(self._next_gap(), self._launch)
+        self.sim.post(self._next_gap(), self._launch)

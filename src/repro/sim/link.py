@@ -254,7 +254,7 @@ class Interface:
                 # the admission call, exactly when the eager schedule
                 # arms a busy period's first tx-done — or in
                 # _deliver_next while a predecessor delivers.
-                self.sim.schedule_at(packet.deliver_at, self._deliver_next)
+                self.sim.post_at(packet.deliver_at, self._deliver_next)
             return True
         return self._send_two_event(packet)
 
@@ -302,10 +302,10 @@ class Interface:
             self._transmitting = False
             return
         self._transmitting = True
-        self.sim.schedule(self.transmission_time(packet), self._on_tx_done, packet)
+        self.sim.post(self.transmission_time(packet), self._on_tx_done, packet)
 
     def _on_tx_done(self, packet: Packet) -> None:
-        self.sim.schedule(self.prop_delay, self._deliver, packet)
+        self.sim.post(self.prop_delay, self._deliver, packet)
         self._start_next()
 
     # ------------------------------------------------------------------
@@ -321,7 +321,7 @@ class Interface:
             # Re-armed while the predecessor delivers — one heap push
             # per packet, at a moment that precedes (hence orders before)
             # any event the delivery below may schedule at a tied time.
-            self.sim.schedule_at(in_flight[0].deliver_at, self._deliver_next)
+            self.sim.post_at(in_flight[0].deliver_at, self._deliver_next)
         if self._tx_starts:
             # This packet's own deferred dequeue (and any earlier one)
             # must land before the peer sees it — its CE bits and the

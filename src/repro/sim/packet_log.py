@@ -1,11 +1,21 @@
 """Packet-event logging: a tcpdump for the simulator.
 
 Attach a :class:`PacketLogger` to any set of interfaces and every
-delivered packet is recorded as a compact tuple — timestamp, interface,
+delivered packet is recorded — timestamp, interface,
 direction-independent flow metadata, and the ECN bits.  Useful for
 debugging protocol behaviour ("when exactly did the first ECE reach the
 sender?") and for assertions in tests that need packet-level ground
 truth instead of aggregate counters.
+
+Storage follows the packet core (see :mod:`repro.sim.packet_core`):
+under the default ``flat`` core each observation appends the packet's
+scalar fields into :class:`~repro.sim.packet_core.FlatPacketColumns`
+(struct-of-arrays — one typed-array append per column, no per-record
+object); under the ``object`` oracle core every observation boxes a
+:class:`PacketRecord` immediately, the PR 4 behaviour.  Either way
+:attr:`PacketLogger.records` yields the same :class:`PacketRecord`
+sequence — under the flat core it is a lazily materialised *view* of
+the columns, so tests and analysis code never see the difference.
 
 Records can be filtered, summarised, and written out as text lines in
 arrival order.
@@ -19,6 +29,7 @@ from typing import Iterable, List, Optional
 
 from repro.sim.link import Interface
 from repro.sim.packet import Packet
+from repro.sim.packet_core import FlatPacketColumns, default_packet_core
 
 __all__ = ["PacketRecord", "PacketLogger"]
 
@@ -56,14 +67,69 @@ class PacketRecord:
 
 
 class PacketLogger:
-    """Collects :class:`PacketRecord` entries from tapped interfaces."""
+    """Collects packet records from tapped interfaces."""
 
-    def __init__(self, max_records: Optional[int] = None):
+    def __init__(
+        self, max_records: Optional[int] = None, core: Optional[str] = None
+    ):
         if max_records is not None and max_records <= 0:
             raise ValueError(f"max_records must be positive, got {max_records}")
+        if core is None:
+            core = default_packet_core()
         self.max_records = max_records
-        self.records: List[PacketRecord] = []
+        self.core = core
         self.dropped_records = 0
+        self._columns = FlatPacketColumns() if core == "flat" else None
+        self._records: List[PacketRecord] = []
+
+    def __len__(self) -> int:
+        if self._columns is not None:
+            return len(self._columns)
+        return len(self._records)
+
+    @property
+    def columns(self) -> Optional[FlatPacketColumns]:
+        """The raw column store (flat core only; ``None`` under object)."""
+        return self._columns
+
+    @property
+    def records(self) -> List[PacketRecord]:
+        """All observations as :class:`PacketRecord` objects.
+
+        Under the object core this is the live backing list; under the
+        flat core each access materialises boxed records from the
+        columns (a view — analysis/test code pays the boxing cost only
+        if it asks for objects).
+        """
+        columns = self._columns
+        if columns is None:
+            return self._records
+        return [
+            PacketRecord(
+                time=time,
+                interface=interface,
+                flow_id=flow_id,
+                kind="ACK" if is_ack else "DATA",
+                seq=seq,
+                ack_seq=ack_seq,
+                size_bytes=size_bytes,
+                ce=ce,
+                ece=ece,
+                retransmit=retransmit,
+            )
+            for (
+                time,
+                interface,
+                flow_id,
+                seq,
+                ack_seq,
+                size_bytes,
+                is_ack,
+                ce,
+                ece,
+                retransmit,
+            ) in columns.rows()
+        ]
 
     def attach(self, *interfaces: Interface) -> "PacketLogger":
         """Tap every given interface (returns self for chaining)."""
@@ -77,10 +143,31 @@ class PacketLogger:
                 interface.tap = None
 
     def _observe(self, time: float, packet: Packet, interface: Interface) -> None:
-        if self.max_records is not None and len(self.records) >= self.max_records:
+        columns = self._columns
+        if columns is not None:
+            if (
+                self.max_records is not None
+                and len(columns) >= self.max_records
+            ):
+                self.dropped_records += 1
+                return
+            columns.append(
+                time,
+                interface.name,
+                packet.flow_id,
+                packet.seq,
+                packet.ack_seq,
+                packet.size_bytes,
+                packet.is_ack,
+                packet.ce,
+                packet.ece,
+                packet.is_retransmit,
+            )
+            return
+        if self.max_records is not None and len(self._records) >= self.max_records:
             self.dropped_records += 1
             return
-        self.records.append(
+        self._records.append(
             PacketRecord(
                 time=time,
                 interface=interface.name,
@@ -118,15 +205,30 @@ class PacketLogger:
 
     def summary(self) -> dict:
         """Counts by kind plus marking totals."""
-        data = sum(1 for r in self.records if r.kind == "DATA")
-        acks = len(self.records) - data
+        columns = self._columns
+        if columns is not None:
+            # One pass over the flags column — no record boxing.
+            data, ce, ece, retransmits = columns.flag_counts()
+            total = len(columns)
+            return {
+                "records": total,
+                "data": data,
+                "acks": total - data,
+                "ce": ce,
+                "ece": ece,
+                "retransmits": retransmits,
+                "dropped_records": self.dropped_records,
+            }
+        records = self._records
+        data = sum(1 for r in records if r.kind == "DATA")
+        acks = len(records) - data
         return {
-            "records": len(self.records),
+            "records": len(records),
             "data": data,
             "acks": acks,
-            "ce": sum(1 for r in self.records if r.ce),
-            "ece": sum(1 for r in self.records if r.ece),
-            "retransmits": sum(1 for r in self.records if r.retransmit),
+            "ce": sum(1 for r in records if r.ce),
+            "ece": sum(1 for r in records if r.ece),
+            "retransmits": sum(1 for r in records if r.retransmit),
             "dropped_records": self.dropped_records,
         }
 

@@ -188,7 +188,7 @@ class TcpSender:
         if self._started:
             raise RuntimeError(f"flow {self.flow_id} already started")
         self._started = True
-        self.sim.schedule(delay, self._initial_send)
+        self.sim.post(delay, self._initial_send)
 
     def _initial_send(self) -> None:
         self._try_send()

@@ -60,7 +60,7 @@ class QueueMonitor:
         if self._running:
             raise RuntimeError("monitor already started")
         self._running = True
-        self.sim.schedule(delay, self._sample)
+        self.sim.post(delay, self._sample)
 
     def stop(self) -> None:
         self._running = False
@@ -71,7 +71,7 @@ class QueueMonitor:
         self.times.append(self.sim.now)
         self.lengths.append(self.queue.len_packets)
         self.byte_lengths.append(self.queue.len_bytes)
-        self.sim.schedule(self.interval, self._sample)
+        self.sim.post(self.interval, self._sample)
 
     def series(self, after: float = 0.0) -> np.ndarray:
         """Queue lengths (packets) sampled at or after ``after`` seconds."""
@@ -285,7 +285,7 @@ class AlphaMonitor:
         if self._running:
             raise RuntimeError("monitor already started")
         self._running = True
-        self.sim.schedule(delay, self._sample)
+        self.sim.post(delay, self._sample)
 
     def stop(self) -> None:
         self._running = False
@@ -298,7 +298,7 @@ class AlphaMonitor:
             self.mean_alphas.append(
                 sum(s.alpha for s in self.senders) / len(self.senders)
             )
-        self.sim.schedule(self.interval, self._sample)
+        self.sim.post(self.interval, self._sample)
 
     def series(self, after: float = 0.0) -> np.ndarray:
         t = self.times.to_numpy()

@@ -1,0 +1,292 @@
+"""Differential tests: calendar-queue kernel vs the binary-heap oracle.
+
+The calendar queue's contract (ISSUE 7) is *exact* equivalence with the
+PR 4 heap: identical pop order on any schedule — equal timestamps break
+ties by scheduling sequence, cancellations are skipped, far-future
+outliers that force a bucket-width resize keep their place, ``stop()``/
+budget/``until`` cut the run at the same event, and reset rewinds both
+kernels to indistinguishable states.  The flat packet core's contract is
+the same story one level up: ``post``-ed events and column-stored log
+records replay byte-identically against the boxed-object oracle.
+
+Two layers of evidence:
+
+* hypothesis property tests drive both kernels through random operation
+  programs (ties, cancels, self-rescheduling chains, sparse outliers,
+  mid-run stops) under three run regimes (free-running, event-budget
+  steps, ``until`` steps) and require identical traces;
+* end-to-end kernel-matrix tests run Figure 1 (queue oscillation),
+  Figure 14/15 (incast collapse) and a PR 6 leaf-spine campaign cell
+  under all four ``REPRO_EVENT_QUEUE`` x ``REPRO_PACKET_CORE`` combos
+  and require results identical to the heap+object oracle.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.campaign.grid import CampaignGrid
+from repro.campaign.cells import run_cell
+from repro.exec.cases import Case
+from repro.experiments.fig01_oscillation import (
+    EXPERIMENT as FIG01_EXPERIMENT,
+    run_case as fig01_run_case,
+)
+from repro.experiments.fig14_incast import (
+    TESTBED_INITIAL_CWND,
+    TESTBED_START_JITTER,
+)
+from repro.experiments.protocols import dctcp_testbed
+from repro.sim.apps.incast import FanInApp
+from repro.sim.engine import Simulator, event_queue
+from repro.sim.packet_core import packet_core
+from repro.sim.packet_log import PacketLogger
+from repro.sim.topology import paper_testbed
+
+KB = 1024
+
+COMBOS = tuple(
+    itertools.product(("calendar", "heap"), ("flat", "object"))
+)
+ORACLE = ("heap", "object")
+
+
+# ----------------------------------------------------------------------
+# Property layer: random operation programs, identical pop order.
+# ----------------------------------------------------------------------
+
+_times = st.floats(
+    min_value=0.0, max_value=10.0, allow_nan=False, allow_infinity=False
+)
+_gaps = st.floats(
+    min_value=0.0, max_value=3.0, allow_nan=False, allow_infinity=False
+)
+
+_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("at"), _times),
+        st.tuples(st.just("post"), _times),
+        # k events on the same instant: tie-break order must hold.
+        st.tuples(st.just("tie"), _times, st.integers(2, 4)),
+        # Cancel the j-th (mod count) handle scheduled so far.
+        st.tuples(st.just("cancel"), st.integers(0, 1000)),
+        # An event at t that cancels handle j mod count mid-run.
+        st.tuples(st.just("cancel_at"), _times, st.integers(0, 1000)),
+        # Self-rescheduling chain: n hops of `gap` starting at t.
+        st.tuples(st.just("chain"), _times, st.integers(1, 10), _gaps),
+        # Sparse far-future outlier (drives bucket-width resizing).
+        st.tuples(st.just("far"), _times),
+        st.tuples(st.just("stop"), _times),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+def _chain_cb(sim, trace, label, remaining, gap):
+    trace.append((sim.now, "chain", label))
+    if remaining > 0:
+        sim.schedule(gap, _chain_cb, sim, trace, label, remaining - 1, gap)
+
+
+def _drive(impl: str, ops, mode: str):
+    """Apply one op program to a fresh kernel; return its full trace."""
+    sim = Simulator(event_queue=impl)
+    trace = []
+    handles = []
+
+    def record(label):
+        trace.append((sim.now, "fire", label))
+
+    for i, op in enumerate(ops):
+        kind = op[0]
+        if kind == "at":
+            handles.append(sim.schedule_at(op[1], record, i))
+        elif kind == "post":
+            sim.post_at(op[1], record, i)
+        elif kind == "tie":
+            for k in range(op[2]):
+                handles.append(sim.schedule_at(op[1], record, (i, k)))
+        elif kind == "cancel":
+            if handles:
+                handles[op[1] % len(handles)].cancel()
+        elif kind == "cancel_at":
+            j = op[2]
+
+            def cancel_later(j=j):
+                if handles:
+                    handles[j % len(handles)].cancel()
+
+            sim.post_at(op[1], cancel_later)
+        elif kind == "chain":
+            sim.schedule_at(op[1], _chain_cb, sim, trace, i, op[2], op[3])
+        elif kind == "far":
+            handles.append(sim.schedule_at(op[1] + 1e3, record, (i, "far")))
+        elif kind == "stop":
+            sim.post_at(op[1], sim.stop)
+
+    if mode == "free":
+        # stop() ops end a run early; keep running until drained.
+        for _ in range(len(ops) + 2):
+            sim.run()
+            if sim.pending_events == 0:
+                break
+    elif mode == "budget":
+        for _ in range(10_000):
+            sim.run(max_events=7)
+            if sim.pending_events == 0:
+                break
+    else:  # "until" steps: exercises pruning and clock fast-forward
+        for horizon in (0.5, 1.0, 2.5, 5.0, 10.0, 1e3, 2e3):
+            sim.run(until=horizon)
+        for _ in range(len(ops) + 2):
+            sim.run()
+            if sim.pending_events == 0:
+                break
+        trace.append(("final-now", sim.now))
+
+    trace.append(
+        ("counters", sim.events_scheduled, sim.events_processed)
+    )
+    return trace
+
+
+@settings(max_examples=40, deadline=None)
+@given(ops=_ops)
+@pytest.mark.parametrize("mode", ["free", "budget", "until"])
+def test_calendar_matches_heap_on_random_programs(mode, ops):
+    assert _drive("calendar", ops, mode) == _drive("heap", ops, mode)
+
+
+@settings(max_examples=20, deadline=None)
+@given(ops=_ops)
+def test_reset_rewinds_both_kernels_identically(ops):
+    traces = []
+    for impl in ("calendar", "heap"):
+        sim = Simulator(event_queue=impl)
+        trace = []
+        for i, op in enumerate(ops):
+            if op[0] in ("at", "post", "far"):
+                t = op[1] + (1e3 if op[0] == "far" else 0.0)
+                sim.schedule_at(t, trace.append, (sim.now, i))
+        sim.run(until=2.0)
+        sim.reset()
+        assert sim.pending_events == 0
+        assert sim.now == 0.0
+        # A replay after reset must look like a fresh process.
+        for t in (1.0, 1.0, 0.5):
+            sim.schedule_at(t, trace.append, ("replay", t, sim.events_scheduled))
+        sim.run()
+        traces.append(trace)
+    assert traces[0] == traces[1]
+
+
+# ----------------------------------------------------------------------
+# End-to-end layer: the kernel matrix on real experiments.
+# ----------------------------------------------------------------------
+
+
+def _matrix(run):
+    """Run ``run()`` under every kernel combo; compare to the oracle."""
+    results = {}
+    for eq, pc in COMBOS:
+        with event_queue(eq), packet_core(pc):
+            results[(eq, pc)] = run()
+    oracle = results[ORACLE]
+    for combo, result in results.items():
+        assert result == oracle, f"{combo} diverged from heap+object oracle"
+    return oracle
+
+
+def _normalised_records(log: PacketLogger):
+    """Delivery records with flow ids rebased to zero (process-global
+    flow-id counters differ between runs; rebasing makes them
+    positional)."""
+    records = log.records
+    if not records:
+        return []
+    base = min(r.flow_id for r in records)
+    return [dataclasses.replace(r, flow_id=r.flow_id - base) for r in records]
+
+
+def test_fig01_oscillation_identical_across_kernel_matrix():
+    """Figure 1 queue trace: all four combos, byte-identical samples."""
+
+    def run():
+        case = Case(
+            experiment=FIG01_EXPERIMENT,
+            label="diff/N=10",
+            params={
+                "protocol": "dctcp-sim",
+                "n_flows": 10,
+                "sim_duration": 0.012,
+                "warmup": 0.002,
+                "sample_interval": 1e-4,
+            },
+        )
+        return fig01_run_case(case)
+
+    result = _matrix(run)
+    assert len(result["queue"]) > 50, "scenario too small to be meaningful"
+
+
+def test_fig14_incast_identical_across_kernel_matrix():
+    """Fig 14/15 collapse point: full packet trace + queue stats."""
+
+    def run():
+        protocol = dctcp_testbed()
+        testbed = paper_testbed(protocol.marker_factory, bandwidth_bps=1e9)
+        bottleneck_iface = testbed.network.interface_between(
+            testbed.core_switch.node_id, testbed.aggregator.node_id
+        )
+        log = PacketLogger().attach(bottleneck_iface)
+        app = FanInApp(
+            testbed.aggregator,
+            testbed.workers,
+            n_flows=20,
+            bytes_per_flow=64 * KB,
+            n_queries=1,
+            sender_cls=protocol.sender_cls,
+            initial_cwnd=TESTBED_INITIAL_CWND,
+            start_jitter=TESTBED_START_JITTER,
+            on_done=testbed.sim.stop,
+        )
+        app.start()
+        testbed.sim.run(until=60.0)
+        raw = testbed.bottleneck_queue.stats
+        stats = {field: getattr(raw, field) for field in raw.__slots__}
+        per_query = [
+            (r.completion_time, r.timeouts, r.retransmits)
+            for r in app.results
+        ]
+        return (
+            _normalised_records(log),
+            stats,
+            per_query,
+            testbed.sim.events_processed,
+        )
+
+    records, _stats, _queries, _events = _matrix(run)
+    assert len(records) > 500, "scenario too small to be meaningful"
+
+
+def test_leaf_spine_campaign_cell_identical_across_kernel_matrix():
+    """One PR 6 fabric cell: FCT list, queue stats, mark/drop totals."""
+    grid = CampaignGrid(
+        thresholds=((40.0,),),
+        loads=(0.2,),
+        fan_ins=(2,),
+        scenarios=("buildup",),
+        seeds=(1,),
+        duration=0.006,
+        warmup=0.001,
+    )
+    params = grid.expand()[0].params
+
+    result = _matrix(lambda: run_cell(params))
+    assert result["flows_started"] > 0, "cell generated no traffic"
