@@ -71,6 +71,7 @@ from repro.experiments.protocols import (
     dt_dctcp_testbed,
 )
 from repro.experiments.tables import print_table
+from repro.sim import kernels
 
 __all__ = ["main"]
 
@@ -563,6 +564,45 @@ def cmd_cache(args: argparse.Namespace) -> int:
     return 2
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint import (
+        Baseline,
+        LintEngine,
+        default_baseline_path,
+        default_rules,
+        render_json,
+        render_text,
+    )
+
+    rules = default_rules()
+    engine = LintEngine(rules)
+    cache_dir = None if args.no_cache else Path(".repro-lint-cache")
+    findings = engine.lint_tree(cache_dir=cache_dir)
+    baseline_path = (
+        args.baseline_file
+        if args.baseline_file is not None
+        else default_baseline_path()
+    )
+    if args.baseline:
+        Baseline.write(findings, baseline_path)
+        print(f"wrote {len(findings)} finding(s) to {baseline_path}")
+        return 0
+    new, baselined = Baseline.load(baseline_path).filter(findings)
+    if args.format == "json":
+        print(render_json(new, baselined=len(baselined)))
+    else:
+        print(render_text(new, baselined=len(baselined), rules=rules))
+    return 1 if new else 0
+
+
+#: Derived from the kernels registry so the env-var name cannot drift
+#: from the central definition.
+_CACHE_DIR_HELP = (
+    "result cache directory "
+    f"(default ${kernels.registered('REPRO_CACHE_DIR').env} or .repro-cache)"
+)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -582,8 +622,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--jobs", type=_positive_int, default=1,
                    help="worker processes for sweep-shaped figures")
     p.add_argument("--cache-dir", type=Path, default=None,
-                   help="result cache directory "
-                        "(default $REPRO_CACHE_DIR or .repro-cache)")
+                   help=_CACHE_DIR_HELP)
     p.add_argument("--no-cache", action="store_true",
                    help="ignore and bypass the result cache")
     _add_supervision_args(p)
@@ -611,14 +650,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="smaller sizes for the CI smoke job")
     p.add_argument("--output", type=Path, default=Path("BENCH_PR7.json"),
                    help="where to write the JSON payload")
-    p.add_argument("--event-queue", choices=["calendar", "heap"],
+    event_queue = kernels.registered("REPRO_EVENT_QUEUE")
+    packet_core = kernels.registered("REPRO_PACKET_CORE")
+    p.add_argument("--event-queue", choices=list(event_queue.choices or ()),
                    default=None,
                    help="pin the event-queue kernel for this run "
-                        "(default: REPRO_EVENT_QUEUE or 'calendar')")
-    p.add_argument("--packet-core", choices=["flat", "object"],
+                        f"(default: {event_queue.env} or "
+                        f"{event_queue.default!r})")
+    p.add_argument("--packet-core", choices=list(packet_core.choices or ()),
                    default=None,
                    help="pin the packet core for this run "
-                        "(default: REPRO_PACKET_CORE or 'flat')")
+                        f"(default: {packet_core.env} or "
+                        f"{packet_core.default!r})")
     p.add_argument("--check", type=Path, default=None, metavar="CURRENT",
                    help="compare a payload against --baseline instead of "
                         "running benchmarks")
@@ -666,8 +709,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--jobs", type=_positive_int, default=1,
                    help="worker processes for the sweep executor")
     p.add_argument("--cache-dir", type=Path, default=None,
-                   help="result cache directory "
-                        "(default $REPRO_CACHE_DIR or .repro-cache)")
+                   help=_CACHE_DIR_HELP)
     p.add_argument("--no-cache", action="store_true",
                    help="ignore and bypass the result cache")
     p.add_argument("--output", type=Path, default=None, metavar="PATH",
@@ -707,11 +749,27 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("cache", help="result-cache maintenance")
     p.add_argument("action", choices=["stats", "verify", "gc"])
     p.add_argument("--cache-dir", type=Path, default=None,
-                   help="result cache directory "
-                        "(default $REPRO_CACHE_DIR or .repro-cache)")
+                   help=_CACHE_DIR_HELP)
     p.add_argument("--older-than", type=float, default=None, metavar="DAYS",
                    help="gc: also remove valid entries older than DAYS")
     p.set_defaults(func=cmd_cache)
+
+    p = sub.add_parser(
+        "lint",
+        help="determinism & kernel-parity static analysis over src/",
+    )
+    p.add_argument("--format", choices=["text", "json"], default="text",
+                   help="report format (default text)")
+    p.add_argument("--baseline", action="store_true",
+                   help="record current findings as the new baseline "
+                        "instead of reporting")
+    p.add_argument("--baseline-file", type=Path, default=None,
+                   metavar="PATH",
+                   help="baseline to read/write (default: the committed "
+                        "src/repro/lint/baseline.json)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="ignore and do not write .repro-lint-cache/")
+    p.set_defaults(func=cmd_lint)
     return parser
 
 

@@ -37,13 +37,14 @@ from pathlib import Path
 from typing import Any, Dict, Iterator, Optional
 
 from repro.exec.cases import CACHE_SCHEMA_VERSION, Case, case_key
+from repro.sim import kernels
 
 __all__ = ["ResultCache", "default_cache_dir"]
 
 
 def default_cache_dir() -> Path:
     """``$REPRO_CACHE_DIR`` if set, else ``.repro-cache`` in the cwd."""
-    env = os.environ.get("REPRO_CACHE_DIR")
+    env = kernels.env_value("REPRO_CACHE_DIR")
     return Path(env) if env else Path(".repro-cache")
 
 

@@ -577,6 +577,9 @@ class SweepExecutor:
             for proc in list((getattr(pool, "_processes", None) or {}).values()):
                 try:
                     proc.terminate()
+                # repro-lint: disable=EXC001 -- best-effort teardown of a
+                # worker that may already have exited; there is no case to
+                # attribute the error to and nothing to recover.
                 except Exception:
                     pass
             pool.shutdown(wait=False, cancel_futures=True)

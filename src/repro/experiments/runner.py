@@ -97,6 +97,8 @@ def run_all(
         ("Bias-corrected DF", lambda: df_bias.main(scale)),
     ]
     for name, stage in stages:
+        # repro-lint: disable=DET001 -- operator-facing stage timing on
+        # stderr/stdout only; simulation results never see wall time.
         start = time.time()
         print(f"===== {name} " + "=" * max(0, 60 - len(name)))
         failures_before = len(executor.report.failures)
@@ -114,6 +116,7 @@ def run_all(
                 raise
             traceback.print_exc(file=sys.stderr)
             print(f"[{name} incomplete: {new_failures} failed case(s)]")
+        # repro-lint: disable=DET001 -- ditto: display-only elapsed time
         print(f"[{name} finished in {time.time() - start:.1f}s]\n")
     print(executor.report.render())
     return executor.report

@@ -79,11 +79,11 @@ from __future__ import annotations
 import bisect
 import heapq
 import math
-import os
 import sys
 from contextlib import contextmanager
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
+from repro.sim.kernels import env_default
 from repro.sim.packet_core import default_packet_core
 
 __all__ = [
@@ -107,7 +107,7 @@ _INF = float("inf")
 #: The calendar-queue fast kernel and the binary-heap reference oracle.
 EVENT_QUEUES = ("calendar", "heap")
 
-_default_event_queue = os.environ.get("REPRO_EVENT_QUEUE", "calendar")
+_default_event_queue = env_default("REPRO_EVENT_QUEUE")
 
 
 def default_event_queue() -> str:
@@ -126,7 +126,7 @@ def set_default_event_queue(impl: str) -> None:
 
 
 @contextmanager
-def event_queue(impl: str):
+def event_queue(impl: str) -> Iterator[None]:
     """Temporarily switch the default scheduler (differential tests)."""
     previous = _default_event_queue
     set_default_event_queue(impl)
@@ -198,7 +198,9 @@ class EventHandle:
 
     __slots__ = ("time", "callback", "args", "cancelled")
 
-    def __init__(self, time: float, callback: Callable[..., None], args: Tuple):
+    def __init__(
+        self, time: float, callback: Callable[..., None], args: Tuple
+    ) -> None:
         self.time = time
         self.callback = callback
         self.args = args

@@ -52,11 +52,11 @@ constructor, or temporarily with the :func:`link_model` context manager.
 
 from __future__ import annotations
 
-import os
 from collections import deque
 from contextlib import contextmanager
 from typing import Optional, TYPE_CHECKING
 
+from repro.sim.kernels import env_default
 from repro.sim.packet import Packet
 from repro.sim.queues import FifoQueue
 
@@ -75,7 +75,7 @@ __all__ = [
 #: The busy-until fast lane and the eager two-event reference oracle.
 LINK_MODELS = ("busy-until", "two-event")
 
-_default_model = os.environ.get("REPRO_LINK_MODEL", "busy-until")
+_default_model = env_default("REPRO_LINK_MODEL")
 
 
 def default_link_model() -> str:

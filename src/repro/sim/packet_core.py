@@ -43,10 +43,11 @@ traces) and flattens the event records the scheduler itself chases.
 
 from __future__ import annotations
 
-import os
 from array import array
 from contextlib import contextmanager
 from typing import Iterator, List, Tuple
+
+from repro.sim.kernels import env_default
 
 __all__ = [
     "PACKET_CORES",
@@ -59,7 +60,7 @@ __all__ = [
 #: The flat array-of-structs core and the boxed-object reference oracle.
 PACKET_CORES = ("flat", "object")
 
-_default_core = os.environ.get("REPRO_PACKET_CORE", "flat")
+_default_core = env_default("REPRO_PACKET_CORE")
 
 
 def _validate(core: str) -> str:
@@ -82,7 +83,7 @@ def set_default_packet_core(core: str) -> None:
 
 
 @contextmanager
-def packet_core(core: str):
+def packet_core(core: str) -> Iterator[None]:
     """Temporarily switch the default core (differential tests)."""
     previous = _default_core
     set_default_packet_core(core)

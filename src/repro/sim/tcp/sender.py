@@ -22,10 +22,10 @@ number of packets in flight is bounded by its floor.
 
 from __future__ import annotations
 
-import os
 from contextlib import contextmanager
 from typing import Callable, Dict, Optional, TYPE_CHECKING
 
+from repro.sim.kernels import env_default
 from repro.sim.packet import MSS_BYTES, Packet
 from repro.sim.tcp.intervals import IntervalSet
 from repro.sim.tcp.rto import DEFAULT_MIN_RTO, RttEstimator
@@ -63,7 +63,7 @@ INITIAL_SSTHRESH = 1e9
 #: enforced by ``tests/sim/test_timer_model_differential.py``.
 TIMER_MODELS = ("soft-deadline", "eager")
 
-_default_timer_model = os.environ.get("REPRO_TIMER_MODEL", "soft-deadline")
+_default_timer_model = env_default("REPRO_TIMER_MODEL")
 
 
 def default_timer_model() -> str:

@@ -51,7 +51,7 @@ class StreamingMoments:
         "_v_sumsq",
     )
 
-    def __init__(self, after: float = 0.0):
+    def __init__(self, after: float = 0.0) -> None:
         self.after = after
         self._t_prev: float = 0.0
         self._v_prev: float = 0.0
@@ -182,7 +182,7 @@ class ChunkedSeries:
 
     __slots__ = ("_chunks", "_tail", "_tail_append", "_len", "chunk_size")
 
-    def __init__(self, chunk_size: int = 65536):
+    def __init__(self, chunk_size: int = 65536) -> None:
         if chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
         self.chunk_size = chunk_size
@@ -241,7 +241,9 @@ class ChunkedSeries:
             yield from chunk
         yield from self._tail
 
-    def __getitem__(self, index: Union[int, slice]):
+    def __getitem__(
+        self, index: Union[int, slice]
+    ) -> Union[float, np.ndarray]:
         if isinstance(index, slice):
             return self.to_numpy()[index]
         if index < 0:

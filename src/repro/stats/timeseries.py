@@ -22,7 +22,9 @@ __all__ = [
 ]
 
 
-def _as_series(times: Sequence[float], values: Sequence[float]):
+def _as_series(
+    times: Sequence[float], values: Sequence[float]
+) -> Tuple[np.ndarray, np.ndarray]:
     t = np.asarray(times, dtype=float)
     v = np.asarray(values, dtype=float)
     if t.size != v.size:
