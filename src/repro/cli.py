@@ -10,8 +10,8 @@ Commands:
                   printing queue statistics;
 * ``incast``    — one incast point on the testbed;
 * ``bench``     — the :mod:`repro.perf` benchmark suite (engine
-                  events/sec, link saturation, per-figure wall time),
-                  written to ``BENCH_PR7.json``;
+                  events/sec, link saturation, datapath lanes,
+                  per-figure wall time), written to ``BENCH_PR9.json``;
 * ``campaign``  — an FCT grid campaign on the leaf–spine fabric:
                   K / (K1, K2) × offered load × incast fan-in ×
                   scenario × seeds, run through the fault-tolerant
@@ -27,7 +27,8 @@ Commands:
 ``figure`` and ``simulate`` accept ``--profile`` to wrap the run in
 cProfile (top-20 cumulative table on stderr, raw pstats via
 ``--profile-out``).  Sweep-shaped figures accept ``--timeout``,
-``--retries``, and ``--failure-policy`` for fault-tolerant execution;
+``--retries``, and ``--failure-policy`` for fault-tolerant execution,
+plus ``--chunk-size`` to batch several cases per worker round trip;
 with a skip policy the exit code is 3 when a sweep completed partially
 (re-run the same command to resume the holes).
 
@@ -44,7 +45,8 @@ Examples::
         --loads 0.2,0.4 --fan-ins 0,8 --scenarios buildup,incast \\
         --seeds 1,2,3 --jobs 8 --output campaign.json
     python -m repro.cli bench --quick
-    python -m repro.cli bench --check BENCH_PR7.json --baseline old.json
+    python -m repro.cli bench --check BENCH_PR9.json --baseline old.json
+    python -m repro.cli bench --quick --compare BENCH_PR9.json
     python -m repro.cli faults --cases 24 --rate 0.25 --jobs 4
     python -m repro.cli cache stats
 """
@@ -189,6 +191,7 @@ def _run_figure(args: argparse.Namespace) -> int:
             timeout=args.timeout,
             retries=args.retries,
             failure_policy=args.failure_policy,
+            chunk_size=args.chunk_size,
         )
         failures_before = len(executor.report.failures)
         try:
@@ -317,6 +320,13 @@ def cmd_bench(args: argparse.Namespace) -> int:
         payload = bench.run_benchmarks(quick=args.quick)
     bench.dump(payload, str(args.output))
     print(bench.render_summary(payload))
+    if args.compare is not None:
+        with open(args.compare) as fh:
+            baseline = json.load(fh)
+        print(f"--- vs {args.compare} ---")
+        print(bench.render_comparison(
+            bench.compare_payloads(payload, baseline)
+        ))
     print(f"written: {args.output}")
     return 0
 
@@ -377,6 +387,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         timeout=args.timeout,
         retries=args.retries,
         failure_policy=args.failure_policy,
+        chunk_size=args.chunk_size,
     )
     result = run_campaign(grid, executor)
     print_table(
@@ -648,7 +659,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("bench", help="repro.perf benchmark suite")
     p.add_argument("--quick", action="store_true",
                    help="smaller sizes for the CI smoke job")
-    p.add_argument("--output", type=Path, default=Path("BENCH_PR7.json"),
+    p.add_argument("--output", type=Path, default=Path("BENCH_PR9.json"),
                    help="where to write the JSON payload")
     event_queue = kernels.registered("REPRO_EVENT_QUEUE")
     packet_core = kernels.registered("REPRO_PACKET_CORE")
@@ -669,6 +680,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="baseline payload for --check")
     p.add_argument("--tolerance", type=float, default=0.30,
                    help="allowed fractional engine events/sec regression")
+    p.add_argument("--compare", type=Path, default=None, metavar="BASELINE",
+                   help="after running, print per-lane deltas against a "
+                        "previous payload (warns when the kernel metadata "
+                        "differs; judges nothing, unlike --check)")
     _add_profile_args(p)
     p.set_defaults(func=cmd_bench)
 
@@ -785,6 +800,10 @@ def _add_supervision_args(p: argparse.ArgumentParser) -> None:
                    help="what a terminal case failure does: abort the "
                         "stage, or record it and keep the partial sweep "
                         "(exit code 3; re-run to resume)")
+    p.add_argument("--chunk-size", type=int, default=None, metavar="N",
+                   help="ship up to N cases per worker round trip "
+                        "(amortises pickle/IPC for grids of sub-second "
+                        "cells; results are identical to unchunked)")
 
 
 def _add_profile_args(p: argparse.ArgumentParser) -> None:

@@ -20,7 +20,7 @@ import dataclasses
 import hashlib
 import importlib
 import json
-from typing import Any, Dict
+from typing import Any, Dict, List, Sequence, Tuple
 
 __all__ = [
     "CACHE_SCHEMA_VERSION",
@@ -29,6 +29,7 @@ __all__ = [
     "case_key",
     "ensure_result",
     "execute_case",
+    "execute_case_chunk",
 ]
 
 #: Bump when the meaning of cached results changes (simulator semantics,
@@ -108,3 +109,38 @@ def execute_case(case: Case) -> Dict[str, Any]:
             f"experiment module {case.experiment!r} exposes no run_case()"
         )
     return run_case(case)
+
+
+def _chunk_failure(exc: BaseException) -> Tuple[str, str, str]:
+    """A picklable failure record for one chunk member.
+
+    The original exception object never crosses the process boundary
+    (arbitrary exceptions may not pickle); the executor rebuilds a
+    :class:`~repro.exec.executor.ChunkMemberError` from the type name
+    and message and attributes it to the member case.
+    """
+    return ("error", type(exc).__name__, str(exc))
+
+
+def execute_case_chunk(
+    cases: Sequence[Case],
+) -> List[Tuple[str, Any] | Tuple[str, str, str]]:
+    """Run several cases in one worker call (the chunked entry point).
+
+    Chunking amortises the pickle/IPC round trip over ``len(cases)``
+    cells — the dominant per-case overhead for cartography-scale grids
+    of sub-second cells — while keeping the executor's per-case
+    semantics: one outcome per case, positionally aligned with the
+    input, each either ``("ok", result)`` or the failure record of
+    :func:`_chunk_failure`.  A member's failure never poisons its
+    neighbours.
+    """
+    outcomes: List[Tuple[str, Any] | Tuple[str, str, str]] = []
+    for case in cases:
+        try:
+            outcomes.append(("ok", execute_case(case)))
+        except Exception as exc:
+            # Recorded, not swallowed: the parent re-raises this as a
+            # ChunkMemberError attributed to exactly this case.
+            outcomes.append(_chunk_failure(exc))
+    return outcomes

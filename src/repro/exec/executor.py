@@ -65,6 +65,7 @@ from repro.exec.cases import (
     case_key,
     ensure_result,
     execute_case,
+    execute_case_chunk,
 )
 from repro.exec.manifest import StageManifest
 from repro.exec.report import FailureRecord, RunReport, StageStats
@@ -72,6 +73,7 @@ from repro.exec.report import FailureRecord, RunReport, StageStats
 __all__ = [
     "FAILURE_POLICIES",
     "CaseTimeoutError",
+    "ChunkMemberError",
     "SweepExecutor",
     "execute_cases",
 ]
@@ -90,6 +92,20 @@ DEFAULT_PROBE_TIMEOUT = 300.0
 
 class CaseTimeoutError(TimeoutError):
     """A case exceeded the executor's per-case deadline."""
+
+
+class ChunkMemberError(RuntimeError):
+    """One member of a chunked submission raised in the worker.
+
+    The worker ships back ``(type name, message)`` instead of the live
+    exception (arbitrary exceptions may not pickle); this carries that
+    record to the normal per-case failure path, so retries, policies
+    and FailureRecords treat a chunked member exactly like a solo one.
+    """
+
+    def __init__(self, type_name: str, message: str):
+        super().__init__(f"{type_name}: {message}")
+        self.type_name = type_name
 
 
 def _init_worker(parent_sys_path: List[str]) -> None:
@@ -116,9 +132,12 @@ class SweepExecutor:
         backoff_jitter: float = 0.1,
         fault_plan: Optional["_faults.FaultPlan"] = None,
         resume: bool = True,
+        chunk_size: Optional[int] = None,
     ):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
         if failure_policy not in FAILURE_POLICIES:
             raise ValueError(
                 f"failure_policy must be one of {FAILURE_POLICIES}, "
@@ -141,6 +160,9 @@ class SweepExecutor:
         self.backoff_jitter = backoff_jitter
         self.fault_plan = fault_plan
         self.resume = resume
+        #: Cases shipped per worker round trip (see :meth:`run`); None
+        #: or 1 preserves the historical one-case-per-future dispatch.
+        self.chunk_size = chunk_size
         self._pool: Optional[ProcessPoolExecutor] = None
 
     @property
@@ -156,7 +178,10 @@ class SweepExecutor:
     # -- the stage loop ------------------------------------------------
 
     def run(
-        self, cases: Sequence[Case], stage: str = ""
+        self,
+        cases: Sequence[Case],
+        stage: str = "",
+        chunk_size: Optional[int] = None,
     ) -> List[Optional[Dict[str, Any]]]:
         """Execute ``cases``, returning results in input order.
 
@@ -164,6 +189,16 @@ class SweepExecutor:
         executor gave up on leaves ``None`` at its position and a
         :class:`FailureRecord` in the report; re-running the same stage
         (same cache) executes only those holes.
+
+        ``chunk_size`` (per-call override of the constructor value)
+        ships up to that many cache-missing cases per worker round trip,
+        amortising pickle/IPC for grids of sub-second cells.  Chunking
+        is a dispatch detail only: results, cache keys, manifest
+        entries, retries and failure policies stay per case (a chunk
+        member that fails is retried/skipped solo), so a chunked run is
+        result-identical to an unchunked one.  Retries, fault-injected
+        cases and post-breakage probes always run solo, where timeout
+        and crash attribution are exact.
         """
         start = time.perf_counter()
         stage_name = stage or (cases[0].experiment if cases else "<empty>")
@@ -187,11 +222,14 @@ class SweepExecutor:
                 pending.append(i)
 
         counters = {"failed": 0, "retried": 0}
+        if chunk_size is None:
+            chunk_size = self.chunk_size
+        chunk = max(1, chunk_size or 1)
         if pending:
             if self.supervised or (self.jobs > 1 and len(pending) > 1):
                 self._run_supervised(
                     cases, keys, pending, results, stage_name, manifest,
-                    counters,
+                    counters, chunk,
                 )
             else:
                 self._run_inline(cases, keys, pending, results, manifest)
@@ -253,12 +291,20 @@ class SweepExecutor:
         stage: str,
         manifest: Optional[StageManifest],
         counters: Dict[str, int],
+        chunk: int = 1,
     ) -> None:
         workers = max(1, min(self.jobs, len(pending)))
         self._pool = self._make_pool(workers)
-        inflight: Dict[Future, Tuple[int, int]] = {}
+        #: future -> its (case index, attempt) members: a 1-tuple for a
+        #: solo submission, longer for a chunk.
+        inflight: Dict[Future, Tuple[Tuple[int, int], ...]] = {}
         deadlines: Dict[Future, Optional[float]] = {}
         retry_q: List[Tuple[float, int, int]] = []
+        #: Indices that must run solo from now on: members of a chunk
+        #: whose *future* failed as a whole (unpicklable payload, worker
+        #: torn down) are re-run individually, at no retry cost, so the
+        #: failure is attributed to the member that owns it.
+        solo: set = set()
         try:
             for i in pending:
                 # Seed through the retry queue so first submissions and
@@ -267,25 +313,46 @@ class SweepExecutor:
             while inflight or retry_q:
                 now = time.monotonic()
                 broken_on_submit = False
-                # Keep at most ``workers`` cases in flight: a submitted
-                # case starts executing at once, so the deadline stamped
-                # at submit time is a true per-case execution deadline —
-                # queue wait must never count against ``timeout``.
+                # Keep at most ``workers`` futures in flight: a
+                # submitted future starts executing at once, so the
+                # deadline stamped at submit time is a true execution
+                # deadline — queue wait must never count against
+                # ``timeout``.  (A chunk's deadline is ``timeout`` times
+                # its member count: the members run back to back.)
                 while (
                     retry_q
                     and retry_q[0][0] <= now
                     and len(inflight) < workers
                 ):
                     _, i, attempt = heapq.heappop(retry_q)
+                    members = [(i, attempt)]
+                    if self._chunkable(i, attempt, chunk, solo):
+                        # Batch further due, chunkable first attempts.
+                        # Retries and fault-injected cases stay solo:
+                        # their timeout/crash attribution is per case.
+                        while (
+                            len(members) < chunk
+                            and retry_q
+                            and retry_q[0][0] <= now
+                            and self._chunkable(
+                                retry_q[0][1], retry_q[0][2], chunk, solo
+                            )
+                        ):
+                            members.append(heapq.heappop(retry_q)[1:])
                     try:
-                        self._submit(cases, i, attempt, inflight, deadlines)
+                        self._submit_members(
+                            cases, tuple(members), inflight, deadlines
+                        )
                     except BrokenProcessPool:
                         # A die-fault broke the pool between wait
                         # cycles; the submission never started, so it
                         # is re-queued as-is while everything in flight
                         # becomes a casualty to probe.
-                        heapq.heappush(retry_q, (now, i, attempt))
-                        suspects = sorted(inflight.values())
+                        for j, att in members:
+                            heapq.heappush(retry_q, (now, j, att))
+                        suspects = sorted(
+                            m for ms in inflight.values() for m in ms
+                        )
                         inflight.clear()
                         deadlines.clear()
                         self._rebuild_pool(workers)
@@ -313,28 +380,50 @@ class SweepExecutor:
                 )
                 suspects: List[Tuple[int, int]] = []
                 for future in done:
-                    i, attempt = inflight.pop(future)
+                    members = inflight.pop(future)
                     deadlines.pop(future, None)
                     try:
                         result = future.result()
                     except BrokenProcessPool:
-                        suspects.append((i, attempt))
+                        suspects.extend(members)
                         continue
                     except BaseException as exc:
-                        self._on_failure(
-                            cases, keys, i, attempt, "exception", exc,
+                        if len(members) == 1:
+                            (i, attempt), = members
+                            self._on_failure(
+                                cases, keys, i, attempt, "exception", exc,
+                                stage, retry_q, manifest, counters,
+                            )
+                        else:
+                            # The chunk failed as a unit (e.g. its
+                            # result payload would not unpickle); which
+                            # member is at fault is unknowable here, so
+                            # each re-runs solo on its current attempt.
+                            resume_at = time.monotonic()
+                            for i, attempt in members:
+                                solo.add(i)
+                                heapq.heappush(
+                                    retry_q, (resume_at, i, attempt)
+                                )
+                        continue
+                    if len(members) == 1:
+                        (i, attempt), = members
+                        self._on_success(
+                            cases, keys, i, attempt, result, results,
                             stage, retry_q, manifest, counters,
                         )
-                        continue
-                    self._on_success(
-                        cases, keys, i, attempt, result, results,
-                        stage, retry_q, manifest, counters,
-                    )
+                    else:
+                        self._on_chunk_result(
+                            cases, keys, members, result, results,
+                            stage, retry_q, manifest, counters,
+                        )
                 if suspects:
                     # The pool is dead and every in-flight future with
                     # it; probe the casualties one at a time so the
                     # crash is attributed to its actual cause.
-                    suspects.extend(inflight.values())
+                    suspects.extend(
+                        m for ms in inflight.values() for m in ms
+                    )
                     inflight.clear()
                     deadlines.clear()
                     self._rebuild_pool(workers)
@@ -352,6 +441,46 @@ class SweepExecutor:
             raise
         else:
             self._shutdown_pool()
+
+    def _chunkable(
+        self, i: int, attempt: int, chunk: int, solo: set
+    ) -> bool:
+        """May case ``i`` ride in a chunked submission?"""
+        return (
+            chunk > 1
+            and attempt == 1
+            and i not in solo
+            and (
+                self.fault_plan is None
+                or self.fault_plan.spec_for(i) is None
+            )
+        )
+
+    def _on_chunk_result(
+        self,
+        cases: Sequence[Case],
+        keys: Sequence[str],
+        members: Tuple[Tuple[int, int], ...],
+        outcomes: Any,
+        results: List[Optional[Dict[str, Any]]],
+        stage: str,
+        retry_q: List[Tuple[float, int, int]],
+        manifest: Optional[StageManifest],
+        counters: Dict[str, int],
+    ) -> None:
+        """Dispatch one chunk's per-member outcomes to the usual paths."""
+        for (i, attempt), outcome in zip(members, outcomes):
+            if outcome[0] == "ok":
+                self._on_success(
+                    cases, keys, i, attempt, outcome[1], results,
+                    stage, retry_q, manifest, counters,
+                )
+            else:
+                self._on_failure(
+                    cases, keys, i, attempt, "exception",
+                    ChunkMemberError(outcome[1], outcome[2]),
+                    stage, retry_q, manifest, counters,
+                )
 
     def _probe(
         self,
@@ -418,19 +547,26 @@ class SweepExecutor:
         keys: Sequence[str],
         results: List[Optional[Dict[str, Any]]],
         stage: str,
-        inflight: Dict[Future, Tuple[int, int]],
+        inflight: Dict[Future, Tuple[Tuple[int, int], ...]],
         deadlines: Dict[Future, Optional[float]],
         retry_q: List[Tuple[float, int, int]],
         manifest: Optional[StageManifest],
         counters: Dict[str, int],
         workers: int,
     ) -> None:
-        """Kill the pool under any case past its deadline.
+        """Kill the pool under any future past its deadline.
 
         A running future cannot be cancelled, so the pool (and with it
         the hung worker) is torn down and rebuilt; in-flight cases that
         were within deadline are resubmitted on their *current* attempt
         — a neighbour's hang must not cost them retry budget.
+
+        An overdue *solo* future names its culprit directly.  An overdue
+        chunk does not — any member may be the hung one — so its members
+        are probed solo (the same mechanism a pool breakage uses) for
+        exact per-case timeout attribution.  Innocent futures are
+        resubmitted only after probing completes: a probe that times out
+        rebuilds the pool again, which would kill them a second time.
         """
         now = time.monotonic()
         overdue = {
@@ -444,8 +580,13 @@ class SweepExecutor:
         inflight.clear()
         deadlines.clear()
         self._rebuild_pool(workers)
-        for future, (i, attempt) in casualties:
-            if future in overdue:
+        suspects: List[Tuple[int, int]] = []
+        innocents: List[Tuple[Tuple[int, int], ...]] = []
+        for future, members in casualties:
+            if future not in overdue:
+                innocents.append(members)
+            elif len(members) == 1:
+                (i, attempt), = members
                 self._on_failure(
                     cases, keys, i, attempt, "timeout",
                     CaseTimeoutError(
@@ -454,7 +595,14 @@ class SweepExecutor:
                     stage, retry_q, manifest, counters,
                 )
             else:
-                self._submit(cases, i, attempt, inflight, deadlines)
+                suspects.extend(members)
+        if suspects:
+            self._probe(
+                cases, keys, results, stage, suspects, retry_q,
+                manifest, counters, workers,
+            )
+        for members in innocents:
+            self._submit_members(cases, members, inflight, deadlines)
 
     # -- per-case outcomes ---------------------------------------------
 
@@ -586,18 +734,31 @@ class SweepExecutor:
         else:
             pool.shutdown(wait=True)
 
-    def _submit(
+    def _submit_members(
         self,
         cases: Sequence[Case],
-        i: int,
-        attempt: int,
-        inflight: Dict[Future, Tuple[int, int]],
+        members: Tuple[Tuple[int, int], ...],
+        inflight: Dict[Future, Tuple[Tuple[int, int], ...]],
         deadlines: Dict[Future, Optional[float]],
     ) -> None:
-        future = self._submit_future(cases, i, attempt)
-        inflight[future] = (i, attempt)
+        """Submit one future carrying ``members`` (solo or chunked).
+
+        A chunk's members run back to back in the worker, so its
+        deadline is ``timeout`` times the member count — each member
+        still gets its individual budget, just measured in aggregate
+        (an overdue chunk is then disambiguated by solo probes).
+        """
+        if len(members) == 1:
+            (i, attempt), = members
+            future = self._submit_future(cases, i, attempt)
+        else:
+            assert self._pool is not None
+            future = self._pool.submit(
+                execute_case_chunk, [cases[i] for i, _ in members]
+            )
+        inflight[future] = members
         deadlines[future] = (
-            time.monotonic() + self.timeout
+            time.monotonic() + self.timeout * len(members)
             if self.timeout is not None
             else None
         )

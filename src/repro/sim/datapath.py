@@ -1,0 +1,85 @@
+"""The per-packet datapath switch: fused fast lane vs reference.
+
+``REPRO_DATAPATH`` selects between two implementations of the hot
+per-packet work — the ``Switch.receive -> Interface.send ->
+FifoQueue.enqueue`` forwarding chain and the sender's cumulative-ACK
+processing:
+
+* ``"fast"`` (the default): ECMP route memoization per
+  ``(flow_id, src, dst)`` on every switch, marker dispatch pre-resolved
+  to bound methods at queue construction, and straight-line
+  common-case bodies with hot attribute reads hoisted into locals;
+* ``"reference"``: the original per-packet code paths, kept verbatim
+  as the differential-testing oracle.
+
+Both lanes produce byte-identical traces and statistics — the fast
+lane only removes repeated lookups whose results cannot change between
+packets (the route of a flow, the marker's method objects), never the
+order or the arithmetic of any observable decision.  Equivalence is
+enforced by ``tests/sim/test_datapath_differential.py`` across every
+marker type and both link models.
+
+Select globally with :func:`set_default_datapath` / the
+``REPRO_DATAPATH`` environment variable, per object via constructor
+arguments, or temporarily with the :func:`datapath` context manager.
+This module is deliberately dependency-free (below ``queues``/``node``/
+``sender`` in the import graph) so every per-packet module can read the
+default without cycles.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from repro.sim.kernels import env_default
+
+__all__ = [
+    "DATAPATHS",
+    "default_datapath",
+    "set_default_datapath",
+    "datapath",
+    "resolve_datapath",
+]
+
+#: The fused fast lane and the straight-line reference oracle.
+DATAPATHS = ("fast", "reference")
+
+_default_datapath = env_default("REPRO_DATAPATH")
+
+
+def default_datapath() -> str:
+    """The datapath new queues/switches/senders use unless told otherwise."""
+    return _default_datapath
+
+
+def set_default_datapath(path: str) -> None:
+    """Set the process-wide default datapath."""
+    if path not in DATAPATHS:
+        raise ValueError(
+            f"unknown datapath {path!r}; choose from {DATAPATHS}"
+        )
+    global _default_datapath
+    _default_datapath = path
+
+
+@contextmanager
+def datapath(path: str) -> Iterator[None]:
+    """Temporarily switch the default datapath (differential tests)."""
+    previous = _default_datapath
+    set_default_datapath(path)
+    try:
+        yield
+    finally:
+        set_default_datapath(previous)
+
+
+def resolve_datapath(path: Optional[str]) -> str:
+    """Validate a constructor's ``datapath`` argument (None = default)."""
+    if path is None:
+        return _default_datapath
+    if path not in DATAPATHS:
+        raise ValueError(
+            f"unknown datapath {path!r}; choose from {DATAPATHS}"
+        )
+    return path

@@ -113,6 +113,16 @@ REGISTRY: Dict[str, KernelSwitch] = {
             ),
         ),
         KernelSwitch(
+            env="REPRO_DATAPATH",
+            default="fast",
+            oracle="reference",
+            choices=("fast", "reference"),
+            description=(
+                "per-packet datapath: memoized routes + fused forward "
+                "path vs straight-line reference"
+            ),
+        ),
+        KernelSwitch(
             env="REPRO_CACHE_DIR",
             default=None,
             oracle=None,

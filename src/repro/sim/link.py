@@ -118,6 +118,10 @@ class Interface:
         "_tx_starts",
         "_in_flight",
         "_draining",
+        "_peer_receive",
+        "_post_at",
+        "_q_plain",
+        "_q_fused",
         "packets_delivered",
         "tap",
     )
@@ -147,6 +151,34 @@ class Interface:
         self.queue = queue
         self.name = name
         self.peer: Optional["Node"] = None
+        #: ``peer.receive`` pre-bound at :meth:`connect`: delivery runs
+        #: once per packet per hop, and the attribute load + method bind
+        #: are measurable there.
+        self._peer_receive = None
+        #: ``sim.post_at`` pre-bound: the rolling delivery event is
+        #: (re)armed once per packet, and the attribute walk costs on
+        #: the hottest lines in the tree.  Under the default flat +
+        #: calendar kernels the engine's pre-specialised variant skips
+        #: the per-call kernel dispatch too.
+        self._post_at = (
+            sim.post_at_calendar
+            if sim._flat and sim._calendar
+            else sim.post_at
+        )
+        #: True while ``self.queue`` is an exact fast-datapath
+        #: :class:`FifoQueue` — the fused send/drain bodies below may
+        #: then manipulate its deque/byte-count/stats directly instead
+        #: of paying a method call per packet.  Recomputed whenever the
+        #: drain hook is (re)installed, i.e. on the first send and after
+        #: every queue swap; subclasses (``TrackedFifoQueue``) and
+        #: reference-datapath queues always take the method-call path.
+        #: ``_q_fused`` additionally requires arrival marking and no
+        #: shared buffer pool — the full precondition of the fused
+        #: per-packet body (``mark_on_dequeue``/``pool`` are part of the
+        #: queue's configuration, fixed before traffic like the queue
+        #: object itself).
+        self._q_plain = False
+        self._q_fused = False
         self.model = model
         self._transmitting = False
         #: Busy-until state: when the transmitter frees up (-inf = never
@@ -167,6 +199,7 @@ class Interface:
     def connect(self, peer: "Node") -> None:
         """Attach the receiving node at the far end of the channel."""
         self.peer = peer
+        self._peer_receive = peer.receive
 
     def transmission_time(self, packet: Packet) -> float:
         """Serialisation delay of ``packet`` at this interface's rate."""
@@ -197,23 +230,32 @@ class Interface:
             raise RuntimeError(f"interface {self.name!r} is not connected")
         if self.model == "busy-until":
             queue = self.queue
-            if (queue.mark_on_dequeue or queue.pool is not None) and (
-                not self._tx_starts
-                and not self._in_flight
-                and self.sim.now >= self._busy_until
-            ):
-                # Dequeue-instant semantics (departure marking, shared
-                # buffer admission) need the exact eager schedule; fall
-                # back to it while the transmitter is idle.  Queues are
-                # configured/swapped before traffic, so the downgrade
-                # happens on the very first packet.
-                self.model = "two-event"
-                if queue.drain_hook is self._drain:
-                    queue.drain_hook = None
-                return self._send_two_event(packet)
-            # -------- busy-until fast lane: one event per packet ------
             if queue.drain_hook is not self._drain:
+                # Cold path: first send through this queue object (the
+                # hook survives for the queue's lifetime, so this runs
+                # once per queue, not once per packet).
+                if (queue.mark_on_dequeue or queue.pool is not None) and (
+                    not self._tx_starts
+                    and not self._in_flight
+                    and self.sim.now >= self._busy_until
+                ):
+                    # Dequeue-instant semantics (departure marking,
+                    # shared buffer admission) need the exact eager
+                    # schedule; fall back to it while the transmitter is
+                    # idle.  Queues are configured/swapped before
+                    # traffic, so the downgrade happens on the very
+                    # first packet.
+                    self.model = "two-event"
+                    return self._send_two_event(packet)
                 queue.drain_hook = self._drain
+                plain = type(queue) is FifoQueue and queue._fast
+                self._q_plain = plain
+                self._q_fused = (
+                    plain
+                    and not queue.mark_on_dequeue
+                    and queue.pool is None
+                )
+            # -------- busy-until fast lane: one event per packet ------
             # ``sim._now`` read directly: the ``now`` property costs a
             # descriptor call per packet on the hottest line in the
             # simulator (link and engine are one subsystem).
@@ -225,27 +267,85 @@ class Interface:
                 # only then does it see exactly what the eager schedule
                 # would.
                 self._drain()
-            if not queue.enqueue(packet):
-                return False
-            prev_busy = self._busy_until
-            start = prev_busy if prev_busy > now else now
-            # Direct sums keep the float association identical to the
-            # reference schedule — (start + tx) + prop, never rebased
-            # on ``now`` — so delivery times match the oracle bit for
-            # bit.
-            tx_end = start + packet.size_bytes * 8.0 / self.bandwidth_bps
-            self._busy_until = tx_end
-            if prev_busy < now:
-                # Strictly idle transmitter: the eager schedule dequeues
-                # synchronously inside send(); do the same.  (All
-                # earlier tx starts were < now, so the pre-drain above
-                # replayed them and this packet is the queue head.)
-                # When prev_busy == now the eager tx-done is still
-                # pending at this instant and the dequeue stays
-                # deferred.
-                queue.dequeue(at_time=now)
+            if self._q_fused:
+                # Fused enqueue: the exact fast FifoQueue.enqueue body,
+                # inlined — per-packet, the method call plus its
+                # re-dispatch on _fast/mark_on_dequeue/pool (all folded
+                # into _q_fused above) are pure overhead.  The DCTCP
+                # single-threshold rule is additionally inlined to a
+                # compare; every other marker keeps its pre-bound call.
+                qd = queue._queue
+                stats = queue._stats
+                size = packet.size_bytes
+                k = queue._marker_k
+                if k is not None:
+                    wants_mark = len(qd) >= k
+                elif queue._marker_null:
+                    wants_mark = False
+                else:
+                    wants_mark = queue._marker_should_mark(len(qd))
+                if queue._bytes + size > queue.capacity_bytes:
+                    stats.dropped += 1
+                    packet.recycle()
+                    return False
+                if wants_mark and packet.ecn_capable:
+                    packet.ce = True
+                    stats.marked += 1
+                stats.enqueued += 1
+                stats.bytes_in += size
+                prev_busy = self._busy_until
+                start = prev_busy if prev_busy > now else now
+                # Direct sums keep the float association identical to
+                # the reference schedule — (start + tx) + prop, never
+                # rebased on ``now`` — so delivery times match the
+                # oracle bit for bit.
+                tx_end = start + size * 8.0 / self.bandwidth_bps
+                self._busy_until = tx_end
+                if prev_busy < now:
+                    # Strictly idle transmitter: the eager schedule
+                    # appends the packet and synchronously dequeues it
+                    # again inside send().  Fused, the packet never
+                    # touches the deque — only the counters move, by
+                    # exactly the amounts the enqueue/dequeue pair
+                    # would have moved them.
+                    stats.dequeued += 1
+                    stats.bytes_out += size
+                else:
+                    qd.append(packet)
+                    queue._bytes += size
+                    starts.append(start)
             else:
-                self._tx_starts.append(start)
+                if (queue.mark_on_dequeue or queue.pool is not None) and (
+                    not starts
+                    and not self._in_flight
+                    and now >= self._busy_until
+                ):
+                    # A dequeue-instant queue swapped in mid-busy-period
+                    # keeps being re-checked here and downgrades at the
+                    # first idle instant, exactly like the cold path
+                    # would have.
+                    self.model = "two-event"
+                    if queue.drain_hook is self._drain:
+                        queue.drain_hook = None
+                    self._q_fused = False
+                    return self._send_two_event(packet)
+                if not queue.enqueue(packet):
+                    return False
+                prev_busy = self._busy_until
+                start = prev_busy if prev_busy > now else now
+                tx_end = start + packet.size_bytes * 8.0 / self.bandwidth_bps
+                self._busy_until = tx_end
+                if prev_busy < now:
+                    # Strictly idle transmitter: the eager schedule
+                    # dequeues synchronously inside send(); do the same.
+                    # (All earlier tx starts were < now, so the
+                    # pre-drain above replayed them and this packet is
+                    # the queue head.)  When prev_busy == now the eager
+                    # tx-done is still pending at this instant and the
+                    # dequeue stays deferred.
+                    queue.dequeue(at_time=now)
+                else:
+                    starts.append(start)
             packet.deliver_at = tx_end + self.prop_delay
             in_flight = self._in_flight
             in_flight.append(packet)
@@ -254,7 +354,7 @@ class Interface:
                 # the admission call, exactly when the eager schedule
                 # arms a busy period's first tx-done — or in
                 # _deliver_next while a predecessor delivers.
-                self.sim.post_at(packet.deliver_at, self._deliver_next)
+                self._post_at(packet.deliver_at, self._deliver_next)
             return True
         return self._send_two_event(packet)
 
@@ -275,14 +375,38 @@ class Interface:
             return
         self._draining = True
         try:
-            dequeue = self.queue.dequeue
-            while starts and starts[0] < now:
-                start = starts.popleft()
-                if dequeue(at_time=start) is None:
-                    # The queue was emptied externally (reset); the
-                    # deferred schedule is void.
-                    starts.clear()
-                    break
+            queue = self.queue
+            if (
+                self._q_plain
+                and not queue.mark_on_dequeue
+                and queue.pool is None
+            ):
+                # Fused replay: the fast FifoQueue.dequeue body with the
+                # per-packet method call and its dispatch checks hoisted
+                # out of the loop.  ``at_time`` only matters to
+                # time-stamping subclasses, which _q_plain excludes.
+                qd = queue._queue
+                stats = queue._stats
+                while starts and starts[0] < now:
+                    starts.popleft()
+                    if not qd:
+                        # The queue was emptied externally (reset); the
+                        # deferred schedule is void.
+                        starts.clear()
+                        break
+                    size = qd.popleft().size_bytes
+                    queue._bytes -= size
+                    stats.dequeued += 1
+                    stats.bytes_out += size
+            else:
+                dequeue = queue.dequeue
+                while starts and starts[0] < now:
+                    start = starts.popleft()
+                    if dequeue(at_time=start) is None:
+                        # The queue was emptied externally (reset); the
+                        # deferred schedule is void.
+                        starts.clear()
+                        break
         finally:
             self._draining = False
 
@@ -321,23 +445,26 @@ class Interface:
             # Re-armed while the predecessor delivers — one heap push
             # per packet, at a moment that precedes (hence orders before)
             # any event the delivery below may schedule at a tied time.
-            self.sim.post_at(in_flight[0].deliver_at, self._deliver_next)
-        if self._tx_starts:
+            self._post_at(in_flight[0].deliver_at, self._deliver_next)
+        starts = self._tx_starts
+        if starts and starts[0] < self.sim._now:
             # This packet's own deferred dequeue (and any earlier one)
             # must land before the peer sees it — its CE bits and the
-            # queue statistics are final at this point.
+            # queue statistics are final at this point.  The due check
+            # here mirrors _drain's own (saving its call when nothing
+            # is due, e.g. at tied timestamps).
             self._drain()
         self.packets_delivered += 1
         if self.tap is not None:
             self.tap(self.sim.now, packet, self)
-        self.peer.receive(packet)
+        self._peer_receive(packet)
 
     def _deliver(self, packet: Packet) -> None:
         self.packets_delivered += 1
         if self.tap is not None:
             self.tap(self.sim.now, packet, self)
-        assert self.peer is not None
-        self.peer.receive(packet)
+        assert self._peer_receive is not None
+        self._peer_receive(packet)
 
     def __repr__(self) -> str:
         return (

@@ -18,8 +18,18 @@ delegated to each egress interface's queue.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, List, Optional, Protocol, Sequence, TYPE_CHECKING, Tuple
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    TYPE_CHECKING,
+    Tuple,
+)
 
+from repro.sim.datapath import resolve_datapath
 from repro.sim.link import Interface
 from repro.sim.packet import Packet
 
@@ -87,6 +97,8 @@ class Endpoint(Protocol):
 class Node:
     """Common base: identity plus the receive hook."""
 
+    __slots__ = ("sim", "node_id", "name")
+
     def __init__(self, sim: "Simulator", name: str = ""):
         self.sim = sim
         self.node_id: int = next(_node_ids)
@@ -102,10 +114,16 @@ class Node:
 class Host(Node):
     """End host: one NIC, many transport endpoints."""
 
+    __slots__ = ("nic", "_endpoints", "_demux_get", "packets_received")
+
     def __init__(self, sim: "Simulator", name: str = ""):
         super().__init__(sim, name)
         self.nic: Optional[Interface] = None
         self._endpoints: Dict[int, Endpoint] = {}
+        #: ``_endpoints.get`` pre-bound: the demux runs once per
+        #: delivered packet and the dict never changes identity
+        #: (register/unregister mutate it in place).
+        self._demux_get = self._endpoints.get
         self.packets_received = 0
 
     def attach_nic(self, nic: Interface) -> None:
@@ -132,7 +150,7 @@ class Host(Node):
 
     def receive(self, packet: Packet) -> None:
         self.packets_received += 1
-        endpoint = self._endpoints.get(packet.flow_id)
+        endpoint = self._demux_get(packet.flow_id)
         if endpoint is not None:
             endpoint.on_packet(packet)
         # Unknown flows (late retransmits after teardown) are dropped
@@ -144,9 +162,37 @@ class Host(Node):
 
 
 class Switch(Node):
-    """Output-queued store-and-forward switch with ECMP next-hop sets."""
+    """Output-queued store-and-forward switch with ECMP next-hop sets.
 
-    def __init__(self, sim: "Simulator", name: str = "", ecmp_seed: int = 0):
+    Under the ``"fast"`` datapath (``REPRO_DATAPATH``) the resolved
+    egress — its bound ``send``, so a hit pays one dict lookup — is
+    memoized per ``(flow_id, src, dst)``, and the ECMP path hash runs
+    once per flow per switch instead of once per packet.
+    Memoization is sound because :func:`flow_path_hash` is a pure
+    function of the key plus the switch's FIB and seed — so the cache is
+    invalidated whenever either changes (:meth:`set_routes`,
+    :attr:`ecmp_seed`, :meth:`reset`).  The ``"reference"`` datapath
+    hashes every packet, as the differential oracle.
+    """
+
+    __slots__ = (
+        "interfaces",
+        "fib",
+        "_ecmp_seed",
+        "_fast",
+        "_route_cache",
+        "_route_get",
+        "packets_forwarded",
+        "packets_unroutable",
+    )
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        name: str = "",
+        ecmp_seed: int = 0,
+        datapath: Optional[str] = None,
+    ):
         super().__init__(sim, name)
         self.interfaces: List[Interface] = []
         #: destination node id -> equal-cost egress interface set (ECMP
@@ -154,9 +200,34 @@ class Switch(Node):
         self.fib: Dict[int, Tuple[Interface, ...]] = {}
         #: Salt for the per-flow path hash; one seed per fabric keeps
         #: flow placement reproducible across runs and processes.
-        self.ecmp_seed = ecmp_seed
+        #: Assigning it invalidates the memoized routes (the hash — and
+        #: with it every multi-path choice — changes with the salt).
+        self._ecmp_seed = ecmp_seed
+        self._fast = resolve_datapath(datapath) == "fast"
+        #: Memoized forwarding decisions: flow identity -> the *bound*
+        #: ``egress.send`` (not the interface itself), so the cache hit
+        #: costs one dict lookup and nothing else per packet.
+        self._route_cache: Dict[
+            Tuple[int, int, int], Callable[[Packet], bool]
+        ] = {}
+        #: ``_route_cache.get`` pre-bound; every invalidation site uses
+        #: ``clear()``, never rebinds the dict, so the bound method
+        #: stays valid for the switch's lifetime.
+        self._route_get = self._route_cache.get
         self.packets_forwarded = 0
         self.packets_unroutable = 0
+
+    @property
+    def ecmp_seed(self) -> int:
+        return self._ecmp_seed
+
+    @ecmp_seed.setter
+    def ecmp_seed(self, seed: int) -> None:
+        # Routing helpers stamp the fabric seed after construction
+        # (:func:`repro.sim.routing.populate_routes`); memoized egresses
+        # computed under the old salt are stale the instant it changes.
+        self._ecmp_seed = seed
+        self._route_cache.clear()
 
     def add_interface(self, interface: Interface) -> Interface:
         self.interfaces.append(interface)
@@ -181,6 +252,16 @@ class Switch(Node):
                     f"{self.name}"
                 )
         self.fib[dst_node_id] = tuple(interfaces)
+        # Any memoized egress may now point at a replaced next-hop set;
+        # drop them all rather than tracking per-destination validity.
+        self._route_cache.clear()
+
+    def reset(self) -> None:
+        """Forget forwarding state: FIB, memoized routes, counters."""
+        self.fib.clear()
+        self._route_cache.clear()
+        self.packets_forwarded = 0
+        self.packets_unroutable = 0
 
     def route_for(self, packet: Packet) -> Optional[Interface]:
         """The egress ``packet`` takes, or None when unroutable.
@@ -195,14 +276,36 @@ class Switch(Node):
         if len(group) == 1:
             return group[0]
         index = flow_path_hash(
-            packet.flow_id, packet.src, packet.dst, self.ecmp_seed
+            packet.flow_id, packet.src, packet.dst, self._ecmp_seed
         ) % len(group)
         return group[index]
 
     def receive(self, packet: Packet) -> None:
+        if self._fast:
+            # Memoized forwarding: one hash per flow per switch.  Only
+            # routable results are cached — an unroutable destination
+            # must re-consult the FIB (a route may be installed later)
+            # and must count every arrival.
+            key = (packet.flow_id, packet.src, packet.dst)
+            send = self._route_get(key)
+            if send is None:
+                egress = self.route_for(packet)
+                if egress is None:
+                    self.packets_unroutable += 1
+                    # The packet ends its life here exactly like one
+                    # consumed by a host; without the recycle every
+                    # unroutable arrival leaked a pooled packet.
+                    packet.recycle()
+                    return
+                send = egress.send
+                self._route_cache[key] = send
+            self.packets_forwarded += 1
+            send(packet)
+            return
         egress = self.route_for(packet)
         if egress is None:
             self.packets_unroutable += 1
+            packet.recycle()
             return
         self.packets_forwarded += 1
         egress.send(packet)

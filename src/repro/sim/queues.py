@@ -40,7 +40,8 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable, Deque, Optional, TYPE_CHECKING
 
-from repro.core.marking import Marker, NullMarker
+from repro.core.marking import Marker, NullMarker, SingleThresholdMarker
+from repro.sim.datapath import resolve_datapath
 from repro.sim.packet import Packet
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -70,7 +71,32 @@ class QueueStats:
 
 
 class FifoQueue:
-    """Bounded FIFO with arrival-time ECN marking."""
+    """Bounded FIFO with arrival-time ECN marking.
+
+    Under the ``"fast"`` datapath (``REPRO_DATAPATH``) the marker's
+    ``should_mark``/``observe`` dispatch is resolved to bound methods
+    once at construction and the per-packet bodies run straight-line
+    with counters hoisted into locals; the ``"reference"`` datapath
+    keeps the original lookup-per-packet bodies as the differential
+    oracle.  Both produce identical decisions in identical order.
+    """
+
+    __slots__ = (
+        "capacity_bytes",
+        "marker",
+        "name",
+        "mark_on_dequeue",
+        "pool",
+        "drain_hook",
+        "_queue",
+        "_bytes",
+        "_stats",
+        "_fast",
+        "_marker_should_mark",
+        "_marker_observe",
+        "_marker_null",
+        "_marker_k",
+    )
 
     def __init__(
         self,
@@ -79,6 +105,7 @@ class FifoQueue:
         name: str = "",
         pool: Optional["SharedBufferPool"] = None,
         mark_on_dequeue: bool = False,
+        datapath: Optional[str] = None,
     ):
         if capacity_bytes <= 0:
             raise ValueError(f"capacity_bytes must be positive, got {capacity_bytes}")
@@ -102,6 +129,25 @@ class FifoQueue:
         self._queue: Deque[Packet] = deque()
         self._bytes = 0
         self._stats = QueueStats()
+        self._fast = resolve_datapath(datapath) == "fast"
+        #: The marker's dispatch, resolved once: ``marker`` is fixed for
+        #: the queue's lifetime (``reset()`` restarts its *state*, never
+        #: swaps the object), so the fast lane never needs the
+        #: per-packet ``getattr`` ladder the reference body pays.
+        self._marker_should_mark = self.marker.should_mark
+        self._marker_observe = getattr(self.marker, "observe", None)
+        #: A stateless never-marking marker needs no call at all; the
+        #: fused interface fast lane skips the dispatch entirely.  Exact
+        #: type checks: a subclass may override ``should_mark``.
+        self._marker_null = type(self.marker) is NullMarker
+        #: DCTCP's single-threshold rule is memoryless and its params
+        #: are frozen, so the fused lane can inline ``occupancy >= K``
+        #: instead of paying the method call on every arrival.
+        the_marker = self.marker
+        if type(the_marker) is SingleThresholdMarker:
+            self._marker_k: Optional[float] = the_marker.params.k
+        else:
+            self._marker_k = None
 
     def _service(self) -> None:
         hook = self.drain_hook
@@ -147,7 +193,43 @@ class FifoQueue:
         interface's send() fast lane does this inline); the marking
         decision below observes raw occupancy.  The only enqueue caller
         in the tree is :meth:`repro.sim.link.Interface.send`.
+
+        A dropped packet is *consumed* here: the queue recycles it (a
+        no-op for directly constructed packets), because no caller
+        retains a reference to a rejected packet — without this, every
+        overflow leaked one pooled packet off the free list.
         """
+        if self._fast:
+            stats = self._stats
+            occupancy = len(self._queue)
+            if self.mark_on_dequeue:
+                observe = self._marker_observe
+                if observe is not None:
+                    observe(occupancy)
+                else:
+                    self._marker_should_mark(occupancy)
+                wants_mark = False
+            else:
+                wants_mark = self._marker_should_mark(occupancy)
+            size = packet.size_bytes
+            if self._bytes + size > self.capacity_bytes:
+                stats.dropped += 1
+                packet.recycle()
+                return False
+            if self.pool is not None and not self.pool.admit(
+                self._bytes, size
+            ):
+                stats.dropped += 1
+                packet.recycle()
+                return False
+            if wants_mark and packet.ecn_capable:
+                packet.ce = True
+                stats.marked += 1
+            self._queue.append(packet)
+            self._bytes += size
+            stats.enqueued += 1
+            stats.bytes_in += size
+            return True
         occupancy = len(self._queue)
         if self.mark_on_dequeue:
             # The *decision* happens at departure, but stateful markers
@@ -165,11 +247,13 @@ class FifoQueue:
             wants_mark = self.marker.should_mark(occupancy)
         if self._bytes + packet.size_bytes > self.capacity_bytes:
             self._stats.dropped += 1
+            packet.recycle()
             return False
         if self.pool is not None and not self.pool.admit(
             self._bytes, packet.size_bytes
         ):
             self._stats.dropped += 1
+            packet.recycle()
             return False
         if wants_mark and packet.ecn_capable:
             packet.ce = True
@@ -198,6 +282,23 @@ class FifoQueue:
                 hook()
         if not self._queue:
             return None
+        if self._fast:
+            stats = self._stats
+            packet = self._queue.popleft()
+            size = packet.size_bytes
+            self._bytes -= size
+            if self.pool is not None:
+                self.pool.release(size)
+            if self.mark_on_dequeue:
+                if (
+                    self._marker_should_mark(len(self._queue))
+                    and packet.ecn_capable
+                ):
+                    packet.ce = True
+                    stats.marked += 1
+            stats.dequeued += 1
+            stats.bytes_out += size
+            return packet
         packet = self._queue.popleft()
         self._bytes -= packet.size_bytes
         if self.pool is not None:

@@ -92,13 +92,22 @@ class TcpReceiver:
 
         in_order_advance = 0
         if packet.seq == self.rcv_next:
-            # Advance through any buffered run the arrival joins up with.
-            new_next = self._out_of_order.first_gap_at_or_after(
-                self.rcv_next + 1
-            )
-            in_order_advance = new_next - self.rcv_next
-            self.rcv_next = new_next
-            self._out_of_order.remove_below(new_next)
+            if not self._out_of_order:
+                # Nothing buffered: the gap search would return
+                # ``rcv_next + 1`` and the removal would be a no-op —
+                # the in-order common case advances by one, two method
+                # calls cheaper.
+                in_order_advance = 1
+                self.rcv_next += 1
+            else:
+                # Advance through any buffered run the arrival joins
+                # up with.
+                new_next = self._out_of_order.first_gap_at_or_after(
+                    self.rcv_next + 1
+                )
+                in_order_advance = new_next - self.rcv_next
+                self.rcv_next = new_next
+                self._out_of_order.remove_below(new_next)
         elif packet.seq > self.rcv_next:
             self._out_of_order.add(packet.seq)
         else:

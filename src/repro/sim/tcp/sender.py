@@ -25,6 +25,7 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Callable, Dict, Optional, TYPE_CHECKING
 
+from repro.sim.datapath import default_datapath
 from repro.sim.kernels import env_default
 from repro.sim.packet import MSS_BYTES, Packet
 from repro.sim.tcp.intervals import IntervalSet
@@ -93,7 +94,50 @@ def timer_model(model: str):
 
 
 class TcpSender:
-    """Common sending endpoint; subclasses specialise the ECN reaction."""
+    """Common sending endpoint; subclasses specialise the ECN reaction.
+
+    ``__slots__`` here (and on the subclasses in this module) is part of
+    the ``REPRO_DATAPATH`` fast lane: a sender is touched once per ACK,
+    and slot access beats dict lookup on every one of those reads.
+    Subclasses defined elsewhere (CUBIC, D2TCP) declare no slots and so
+    keep an instance ``__dict__`` — extra attributes and test
+    monkeypatching continue to work there.
+    """
+
+    __slots__ = (
+        "sim",
+        "host",
+        "flow_id",
+        "peer_node_id",
+        "total_packets",
+        "mss_bytes",
+        "receive_window",
+        "on_complete",
+        "cwnd",
+        "ssthresh",
+        "next_seq",
+        "_high_water",
+        "highest_ack",
+        "dup_acks",
+        "_in_recovery",
+        "_recover_seq",
+        "use_sack",
+        "_sacked",
+        "_sack_rtx_next",
+        "rtt",
+        "timer_model",
+        "_rto_eager",
+        "_rto_timer",
+        "_rto_deadline",
+        "_send_times",
+        "_started",
+        "_completed",
+        "_dp_fast",
+        "packets_sent",
+        "retransmits",
+        "timeouts",
+        "ece_seen",
+    )
 
     #: Whether data packets are sent ECN-capable (ECT codepoint).
     ecn_capable = True
@@ -172,6 +216,9 @@ class TcpSender:
         self._send_times: Dict[int, float] = {}
         self._started = False
         self._completed = False
+        #: REPRO_DATAPATH at construction: the fast lane precomputes the
+        #: cumulative-ACK common case in ``_on_new_ack``/``_try_send``.
+        self._dp_fast = default_datapath() == "fast"
 
         # Counters for the harness.
         self.packets_sent = 0
@@ -225,6 +272,26 @@ class TcpSender:
         window = int(self.cwnd)
         if self.receive_window is not None:
             window = min(window, self.receive_window)
+        if self._dp_fast and not self.use_sack:
+            # Fast lane: without SACK, ``pipe`` is ``next_seq -
+            # highest_ack``, so the window test collapses to a bound on
+            # ``next_seq`` computed once — nothing in the loop body can
+            # move ``highest_ack`` (transmission is asynchronous; no
+            # callback re-enters this sender before the loop exits).
+            # The retransmit flag against a frozen high-water mark is
+            # identical too: after sending seq, the mark is
+            # ``max(high, seq + 1)``, so ``seq + 1 < mark`` iff
+            # ``seq + 1 < high``.
+            next_seq = self.next_seq
+            limit = self.highest_ack + window
+            total = self.total_packets
+            high = self._high_water
+            while next_seq < limit and (total is None or next_seq < total):
+                self._transmit(next_seq, retransmit=next_seq < high)
+                next_seq += 1
+            self.next_seq = next_seq
+            self._arm_rto()
+            return
         while self._more_to_send() and self.pipe < window:
             self._transmit(self.next_seq, retransmit=self.next_seq < self._high_water)
             self.next_seq += 1
@@ -248,8 +315,9 @@ class TcpSender:
             # Karn's rule: a retransmitted sequence yields no RTT sample.
             self._send_times.pop(seq, None)
         else:
-            packet.sent_at = self.sim.now
-            self._send_times[seq] = self.sim.now
+            now = self.sim._now
+            packet.sent_at = now
+            self._send_times[seq] = now
         self._high_water = max(self._high_water, seq + 1)
         self.packets_sent += 1
         self.host.send(packet)
@@ -277,6 +345,45 @@ class TcpSender:
             self._try_send()
 
     def _on_new_ack(self, packet: Packet) -> None:
+        if self._dp_fast and not self.use_sack and not self._in_recovery:
+            # Cumulative-ACK common case, straight-line: the SACK
+            # scoreboard branches drop out and the usual one-packet
+            # advance skips the empty RTT-cleanup range.  The ECN hook
+            # may *enter* recovery (CUBIC does), so its outcome is
+            # re-checked exactly where the reference body checks it.
+            ack_seq = packet.ack_seq
+            old_highest = self.highest_ack
+            newly = ack_seq - old_highest
+            self.highest_ack = ack_seq
+            if self.next_seq < ack_seq:
+                self.next_seq = ack_seq
+            self.dup_acks = 0
+            send_times = self._send_times
+            sample_time = send_times.pop(ack_seq - 1, None)
+            if newly > 1:
+                for seq in range(old_highest, ack_seq - 1):
+                    send_times.pop(seq, None)
+            now = self.sim._now
+            if sample_time is not None and now > sample_time:
+                self.rtt.on_sample(now - sample_time)
+                self.rtt.reset_backoff()
+            self._on_ecn_feedback(packet, newly)
+            if self._in_recovery:
+                if ack_seq >= self._recover_seq:
+                    self._in_recovery = False
+                    self.cwnd = max(self.ssthresh, 1.0)
+                else:
+                    self._transmit(self.highest_ack, retransmit=True)
+            else:
+                self._grow_window(newly)
+            if (
+                self.total_packets is not None
+                and ack_seq >= self.total_packets
+            ):
+                self._complete()
+                return
+            self._arm_rto()
+            return
         newly = packet.ack_seq - self.highest_ack
         old_highest = self.highest_ack
         self.highest_ack = packet.ack_seq
@@ -467,11 +574,15 @@ class TcpSender:
 class RenoSender(TcpSender):
     """Loss-only TCP; data is sent not-ECN-capable so switches drop."""
 
+    __slots__ = ()
+
     ecn_capable = False
 
 
 class EcnRenoSender(TcpSender):
     """RFC 3168 TCP: an ECE mark triggers a half-window cut once per RTT."""
+
+    __slots__ = ("_cut_end",)
 
     def __init__(self, *args, **kwargs):
         super().__init__(*args, **kwargs)
@@ -494,6 +605,15 @@ class DctcpSender(TcpSender):
     serves both DCTCP and DT-DCTCP — the paper's change is entirely in
     the switch's marking rule.
     """
+
+    __slots__ = (
+        "g",
+        "alpha",
+        "_window_acked",
+        "_window_marked",
+        "_alpha_seq",
+        "_cut_end",
+    )
 
     def __init__(
         self, *args, g: float = 1.0 / 16.0, initial_alpha: float = 1.0, **kwargs

@@ -1,0 +1,388 @@
+"""Differential tests: fast per-packet datapath vs reference oracle.
+
+The fast datapath (``REPRO_DATAPATH=fast``: memoized ECMP routes, fused
+forward→enqueue bodies, sender-side cumulative-ack fast paths) claims
+*exact* equivalence with the straight-line reference: same delivery
+trace — times, flow ids, sequence numbers, CE/ECE bits — same queue
+counters and same per-flow outcomes, on every marker type, both link
+models, and departure marking.  These tests compare everything
+observable; the memoization-soundness tests then attack the route
+cache's invalidation edges directly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.marking import (
+    DoubleThresholdMarker,
+    NullMarker,
+    REDMarker,
+    SingleThresholdMarker,
+)
+from repro.sim.apps.bulk import launch_bulk_flows
+from repro.sim.datapath import (
+    DATAPATHS,
+    datapath,
+    default_datapath,
+    resolve_datapath,
+    set_default_datapath,
+)
+from repro.sim.engine import Simulator
+from repro.sim.link import link_model
+from repro.sim.packet import Packet, packet_pool_size
+from repro.sim.packet_log import PacketLogger
+from repro.sim.queues import FifoQueue
+from repro.sim.tcp.sender import DctcpSender
+from repro.sim.topology import Network, dumbbell
+
+MARKERS = {
+    "null": lambda: NullMarker(),
+    "single": lambda: SingleThresholdMarker.from_threshold(40.0),
+    "double": lambda: DoubleThresholdMarker.from_thresholds(30.0, 50.0),
+    "red": lambda: REDMarker(min_th=20.0, max_th=60.0, max_p=0.5),
+}
+
+
+def _run_dumbbell(
+    path: str,
+    marker_key: str,
+    link: str,
+    n_flows: int = 4,
+    duration: float = 0.003,
+    mark_on_dequeue: bool = False,
+):
+    """One dumbbell run; returns (delivery records, queue stats, flows)."""
+    with datapath(path), link_model(link):
+        network = dumbbell(n_flows, MARKERS[marker_key])
+        iface = network.network.interface_between(
+            network.switch.node_id, network.receiver.node_id
+        )
+        if mark_on_dequeue:
+            iface.queue = FifoQueue(
+                network.bottleneck_queue.capacity_bytes,
+                marker=MARKERS[marker_key](),
+                name="bottleneck",
+                mark_on_dequeue=True,
+            )
+        log = PacketLogger().attach(iface)
+        flows = launch_bulk_flows(network, sender_cls=DctcpSender)
+        base = min(f.sender.flow_id for f in flows)
+        network.sim.run(until=duration)
+        records = [
+            dataclasses.replace(r, flow_id=r.flow_id - base)
+            for r in log.records
+        ]
+        raw = iface.queue.stats
+        stats = {field: getattr(raw, field) for field in raw.__slots__}
+        per_flow = [
+            (
+                f.sender.packets_sent,
+                f.sender.timeouts,
+                f.sender.retransmits,
+                f.receiver.packets_received,
+            )
+            for f in flows
+        ]
+        events = network.sim.events_processed
+    return records, stats, per_flow, events
+
+
+class TestDumbbellTraces:
+    @pytest.mark.parametrize("marker_key", sorted(MARKERS))
+    @pytest.mark.parametrize("link", ["busy-until", "two-event"])
+    def test_traces_identical_across_markers_and_link_models(
+        self, marker_key, link
+    ):
+        reference = _run_dumbbell("reference", marker_key, link)
+        fast = _run_dumbbell("fast", marker_key, link)
+        assert len(reference[0]) > 300, "scenario too small to be meaningful"
+        assert fast == reference
+
+    @pytest.mark.parametrize("marker_key", ["single", "double"])
+    def test_traces_identical_under_departure_marking(self, marker_key):
+        # mark_on_dequeue forces the two-event link lane; the datapath
+        # fast bodies in enqueue/dequeue must still match exactly.
+        reference = _run_dumbbell(
+            "reference", marker_key, "busy-until", mark_on_dequeue=True
+        )
+        fast = _run_dumbbell(
+            "fast", marker_key, "busy-until", mark_on_dequeue=True
+        )
+        assert fast == reference
+
+    @settings(max_examples=8, deadline=None)
+    @given(
+        n_flows=st.integers(min_value=2, max_value=6),
+        threshold=st.sampled_from([10.0, 25.0, 40.0, 65.0]),
+        marker_key=st.sampled_from(sorted(MARKERS)),
+    )
+    def test_traces_identical_on_random_scenarios(
+        self, n_flows, threshold, marker_key
+    ):
+        markers = dict(
+            MARKERS,
+            single=lambda: SingleThresholdMarker.from_threshold(threshold),
+        )
+
+        def run(path):
+            with datapath(path):
+                network = dumbbell(n_flows, markers[marker_key])
+                iface = network.network.interface_between(
+                    network.switch.node_id, network.receiver.node_id
+                )
+                log = PacketLogger().attach(iface)
+                flows = launch_bulk_flows(network, sender_cls=DctcpSender)
+                base = min(f.sender.flow_id for f in flows)
+                network.sim.run(until=0.0015)
+                return (
+                    [
+                        dataclasses.replace(r, flow_id=r.flow_id - base)
+                        for r in log.records
+                    ],
+                    [f.sender.packets_sent for f in flows],
+                    network.sim.events_processed,
+                )
+
+        assert run("fast") == run("reference")
+
+
+class TestExperimentCells:
+    """Full experiment cells produce identical result dicts."""
+
+    def _compare(self, case):
+        from repro.exec.cases import execute_case
+
+        with datapath("reference"):
+            reference = execute_case(case)
+        with datapath("fast"):
+            fast = execute_case(case)
+        assert fast == reference
+
+    def test_fig01_oscillation_cell(self):
+        from repro.exec.cases import Case
+
+        self._compare(
+            Case(
+                "repro.experiments.fig01_oscillation",
+                "diff",
+                {
+                    "protocol": "dctcp-sim",
+                    "n_flows": 2,
+                    "sim_duration": 0.004,
+                    "warmup": 0.001,
+                    "sample_interval": 20e-6,
+                },
+            )
+        )
+
+    def test_fig14_incast_cell(self):
+        from repro.exec.cases import Case
+
+        self._compare(
+            Case(
+                "repro.experiments.fig14_incast",
+                "diff",
+                {
+                    "protocol": "dctcp-testbed",
+                    "n_flows": 6,
+                    "n_queries": 1,
+                    "response_bytes": 64 * 1024,
+                    "bandwidth_bps": 1e9,
+                },
+            )
+        )
+
+    def test_leaf_spine_campaign_cell(self):
+        from repro.campaign.cells import run_cell
+        from repro.campaign.grid import CampaignGrid
+
+        grid = CampaignGrid(
+            thresholds=((40.0,),),
+            loads=(0.4,),
+            fan_ins=(4,),
+            scenarios=("buildup",),
+            seeds=(1,),
+            duration=0.004,
+            warmup=0.001,
+        )
+        params = grid.expand()[0].params
+        with datapath("reference"):
+            reference = run_cell(params)
+        with datapath("fast"):
+            fast = run_cell(params)
+        assert fast == reference
+        assert fast["flows_completed"] > 0
+
+
+def _two_way_switch():
+    """A switch with a 2-member ECMP group toward one destination id."""
+    net = Network()
+    switch = net.add_switch("sw")
+    src = net.add_host("src")
+    left = net.add_host("left")
+    right = net.add_host("right")
+    for host in (src, left, right):
+        net.connect(
+            host, switch, 10e9, 1e-6,
+            queue_a_to_b=FifoQueue(1e6, name=f"{host.name}-up"),
+            queue_b_to_a=FifoQueue(1e6, name=f"{host.name}-down"),
+        )
+    if_left = net.interface_between(switch.node_id, left.node_id)
+    if_right = net.interface_between(switch.node_id, right.node_id)
+    # Both egresses are installed as equal-cost paths toward ``left`` so
+    # the seeded flow hash genuinely picks between members.
+    switch.set_routes(left.node_id, (if_left, if_right))
+    return net, switch, left, if_left, if_right
+
+
+def _packet(flow_id, dst):
+    return Packet(flow_id=flow_id, src=0, dst=dst, seq=0, size_bytes=1500)
+
+
+class TestRouteMemoization:
+    def test_fast_switch_caches_routable_flows_only(self):
+        _, switch, left, _, _ = _two_way_switch()
+        switch._fast = True
+        switch.receive(_packet(7, left.node_id))
+        assert (7, 0, left.node_id) in switch._route_cache
+        switch.receive(_packet(9, 999))  # unroutable destination
+        assert (9, 0, 999) not in switch._route_cache
+        assert switch.packets_unroutable == 1
+
+    def test_set_routes_invalidates_cache(self):
+        _, switch, left, if_left, if_right = _two_way_switch()
+        switch._fast = True
+        switch.set_routes(left.node_id, (if_left,))
+        switch.receive(_packet(3, left.node_id))
+        assert switch._route_cache[(3, 0, left.node_id)].__self__ is if_left
+        # Reroute everything through the other egress: the memoized
+        # entry must not survive, or the flow keeps the dead path.
+        switch.set_routes(left.node_id, (if_right,))
+        assert switch._route_cache == {}
+        switch.receive(_packet(3, left.node_id))
+        assert switch._route_cache[(3, 0, left.node_id)].__self__ is if_right
+
+    def test_ecmp_seed_change_invalidates_cache(self):
+        _, switch, left, _, _ = _two_way_switch()
+        switch._fast = True
+        switch.receive(_packet(5, left.node_id))
+        assert switch._route_cache
+        switch.ecmp_seed = 12345
+        assert switch._route_cache == {}
+        # The refreshed cache must agree with the pure hash under the
+        # new salt — for every flow, not just ones that moved.
+        for flow_id in range(16):
+            expected = switch.route_for(_packet(flow_id, left.node_id))
+            switch.receive(_packet(flow_id, left.node_id))
+            assert (
+                switch._route_cache[(flow_id, 0, left.node_id)].__self__
+                is expected
+            )
+
+    def test_reset_forgets_routes_and_cache(self):
+        _, switch, left, _, _ = _two_way_switch()
+        switch._fast = True
+        switch.receive(_packet(2, left.node_id))
+        assert switch.packets_forwarded == 1
+        switch.reset()
+        assert switch.fib == {}
+        assert switch._route_cache == {}
+        assert switch.packets_forwarded == 0
+        switch.receive(_packet(2, left.node_id))
+        assert switch.packets_unroutable == 1
+
+    def test_fast_and_reference_pick_identical_egresses(self):
+        _, switch, left, _, _ = _two_way_switch()
+        switch._fast = True
+        for flow_id in range(64):
+            expected = switch.route_for(_packet(flow_id, left.node_id))
+            switch.receive(_packet(flow_id, left.node_id))
+            assert (
+                switch._route_cache[(flow_id, 0, left.node_id)].__self__
+                is expected
+            )
+        assert switch.packets_unroutable == 0
+
+
+class TestSwitchConfig:
+    def test_datapath_validated_at_construction(self):
+        from repro.sim.node import Switch
+
+        with pytest.raises(ValueError, match="datapath"):
+            Switch(Simulator(), datapath="bogus")
+        with pytest.raises(ValueError, match="datapath"):
+            FifoQueue(1e6, datapath="bogus")
+
+    def test_resolve_and_default_round_trip(self):
+        assert resolve_datapath(None) == default_datapath()
+        for path in DATAPATHS:
+            assert resolve_datapath(path) == path
+        with pytest.raises(ValueError):
+            resolve_datapath("bogus")
+        with pytest.raises(ValueError):
+            set_default_datapath("bogus")
+
+    def test_context_manager_restores_default(self):
+        before = default_datapath()
+        with datapath("reference"):
+            assert default_datapath() == "reference"
+            with datapath("fast"):
+                assert default_datapath() == "fast"
+            assert default_datapath() == "reference"
+        assert default_datapath() == before
+
+
+class TestPacketPoolAccounting:
+    """Drop and unroutable paths must return pooled packets (ISSUE 9).
+
+    Before this PR a queue-overflow drop or an unroutable forward simply
+    dropped the object reference, so every such packet leaked off the
+    free list and the pool drained under sustained overload.
+    """
+
+    @pytest.mark.parametrize("path", DATAPATHS)
+    def test_overflow_drop_refills_free_list(self, path):
+        with datapath(path):
+            queue = FifoQueue(1500.0, name="tiny")
+            assert queue.enqueue(
+                Packet.acquire(flow_id=0, src=0, dst=1, seq=0,
+                               size_bytes=1500)
+            )
+            victim = Packet.acquire(
+                flow_id=0, src=0, dst=1, seq=1, size_bytes=1500
+            )
+            before = packet_pool_size()
+            assert not queue.enqueue(victim)
+            assert packet_pool_size() == before + 1
+            assert queue.stats.dropped == 1
+
+    @pytest.mark.parametrize("path", DATAPATHS)
+    def test_unroutable_packet_refills_free_list(self, path):
+        from repro.sim.node import Switch
+
+        with datapath(path):
+            switch = Switch(Simulator(), "lone")
+            victim = Packet.acquire(
+                flow_id=0, src=0, dst=42, seq=0, size_bytes=1500
+            )
+            before = packet_pool_size()
+            switch.receive(victim)
+            assert packet_pool_size() == before + 1
+            assert switch.packets_unroutable == 1
+
+    def test_unpooled_packets_unaffected(self):
+        # recycle() on a directly constructed packet is a no-op, so the
+        # drop paths are safe for both allocation styles.
+        queue = FifoQueue(1500.0, name="tiny")
+        queue.enqueue(Packet(flow_id=0, src=0, dst=1, seq=0,
+                             size_bytes=1500))
+        before = packet_pool_size()
+        assert not queue.enqueue(
+            Packet(flow_id=0, src=0, dst=1, seq=1, size_bytes=1500)
+        )
+        assert packet_pool_size() == before

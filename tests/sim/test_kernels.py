@@ -55,6 +55,7 @@ GOOD_TABLE = """\
 | `REPRO_PACKET_CORE` | `flat` | `object` | packet-log storage |
 | `REPRO_LINK_MODEL` | `busy-until` | `two-event` | transmitter |
 | `REPRO_TIMER_MODEL` | `soft-deadline` | `eager` | RTO re-arm |
+| `REPRO_DATAPATH` | `fast` | `reference` | per-packet datapath |
 """
 
 
@@ -84,13 +85,15 @@ class TestCiParity:
     def test_all_pins_present_is_clean(self):
         ci = (
             "REPRO_EVENT_QUEUE=heap REPRO_PACKET_CORE=object "
-            "REPRO_LINK_MODEL=two-event REPRO_TIMER_MODEL=eager"
+            "REPRO_LINK_MODEL=two-event REPRO_TIMER_MODEL=eager "
+            "REPRO_DATAPATH=reference"
         )
         assert kernels.ci_parity_problems(ci) == []
 
     def test_missing_pin_reported(self):
         ci = "REPRO_EVENT_QUEUE=heap REPRO_PACKET_CORE=object"
         problems = kernels.ci_parity_problems(ci)
-        assert len(problems) == 2
+        assert len(problems) == 3
         assert any("REPRO_LINK_MODEL=two-event" in p for p in problems)
         assert any("REPRO_TIMER_MODEL=eager" in p for p in problems)
+        assert any("REPRO_DATAPATH=reference" in p for p in problems)
