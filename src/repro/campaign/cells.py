@@ -30,7 +30,10 @@ from repro.core.marking import (
 from repro.exec.cases import Case
 from repro.sim.apps.incast import FanInApp
 from repro.sim.apps.short_flows import ShortFlowGenerator
+from repro.sim.chaos import ChaosController, ChaosSchedule
+from repro.sim.invariants import InvariantWatchdog, invariants_enabled
 from repro.sim.node import Host, Switch
+from repro.sim.tcp.cubic import CubicSender
 from repro.sim.tcp.flow import Flow, open_flow
 from repro.sim.tcp.sender import DctcpSender
 from repro.sim.topology import LeafSpineNetwork, leaf_spine
@@ -43,8 +46,16 @@ __all__ = ["run_case", "run_cell"]
 #: campaign window, so cells use a 10 ms floor (still ~100 RTTs).
 CAMPAIGN_MIN_RTO = 0.01
 
+#: Backoff cap for chaos cells: with half-second outages inside a
+#: seconds-long window, the default 60 s cap would let one unlucky
+#: doubling sleep through the rest of the run; 2 s still clears every
+#: flap (0.5 s) with margin.
+SPACE_DC_MAX_RTO = 2.0
+
 #: Initial window of the latency-sensitive short flows.
 SHORT_FLOW_CWND = 10.0
+
+_SENDERS = {"dctcp": DctcpSender, "cubic": CubicSender}
 
 
 def _marker_factory(thresholds: List[float]):
@@ -85,6 +96,37 @@ def _fabric_totals(fabric: LeafSpineNetwork) -> Dict[str, int]:
     return {"marked": marked, "dropped": dropped}
 
 
+def _install_chaos(
+    fabric: LeafSpineNetwork, params: Dict[str, Any], warmup: float
+) -> ChaosController:
+    """The ``space-dc`` fault plan: fabric-wide jitter + one flap train.
+
+    Jitter perturbs every leaf↔spine link symmetrically; the flap train
+    hits the last source leaf's uplink to spine 0 once warmup ends, so
+    the measured window contains every outage.  Everything derives from
+    the cell seed, so replicate cells replay byte-identically.
+    """
+    schedule = ChaosSchedule(seed=int(params["seed"]))
+    jitter_s = float(params["jitter_s"])
+    leaves = [leaf.name for leaf in fabric.leaves]
+    spines = [spine.name for spine in fabric.spines]
+    if jitter_s > 0:
+        for leaf in leaves:
+            for spine in spines:
+                schedule.jitter(leaf, spine, amplitude=jitter_s)
+    flap_count = int(params["flap_count"])
+    if flap_count > 0:
+        schedule.flap_train(
+            leaves[-1],
+            spines[0],
+            t0=warmup,
+            period=float(params["flap_period"]),
+            down_time=float(params["flap_down"]),
+            count=flap_count,
+        )
+    return schedule.install(fabric.network)
+
+
 def run_cell(params: Dict[str, Any]) -> Dict[str, Any]:
     """Execute one campaign cell from its flat parameter dict."""
     thresholds = [float(k) for k in params["thresholds"]]
@@ -95,6 +137,7 @@ def run_cell(params: Dict[str, Any]) -> Dict[str, Any]:
     flow_bytes = int(params["flow_bytes"])
     duration = float(params["duration"])
     warmup = float(params["warmup"])
+    sender_cls = _SENDERS[params.get("sender", "dctcp")]
 
     fabric = leaf_spine(
         n_leaves=int(params["n_leaves"]),
@@ -107,10 +150,30 @@ def run_cell(params: Dict[str, Any]) -> Dict[str, Any]:
         fabric_buffer_bytes=float(params["fabric_buffer_bytes"]),
         ecmp_seed=seed,
     )
+    chaos = None
+    if scenario == "space-dc":
+        # Before traffic, so targeted interfaces pin to the two-event
+        # link model while their transmitters have never run.
+        chaos = _install_chaos(fabric, params, warmup)
+    watchdog = None
+    if bool(params.get("invariants")) or invariants_enabled():
+        # Post-run audit only: a periodic watchdog would add events and
+        # perturb the cached ``events_processed`` count for nothing.
+        watchdog = InvariantWatchdog(fabric.network)
     client = fabric.host(0, 0)
     sources = [
         fabric.host(leaf_idx, 0) for leaf_idx in range(1, len(fabric.leaves))
     ]
+
+    # RTO floors/caps: the min must clear the fabric's base RTT (8 hops)
+    # — moot on datacenter delays, binding on the space-dc regime — and
+    # chaos cells cap backoff so no flow sleeps past the window.
+    rtt = 8.0 * float(params["per_hop_delay"])
+    rto_kwargs: Dict[str, Any] = {
+        "min_rto": max(CAMPAIGN_MIN_RTO, 2.0 * rtt)
+    }
+    if chaos is not None:
+        rto_kwargs["max_rto"] = SPACE_DC_MAX_RTO
 
     # Offered load: aggregate short-flow arrival rate × flow size equals
     # ``load`` × the client's access capacity, split evenly per source.
@@ -123,10 +186,10 @@ def run_cell(params: Dict[str, Any]) -> Dict[str, Any]:
             client,
             flow_bytes=flow_bytes,
             arrival_rate=total_rate / len(sources),
-            sender_cls=DctcpSender,
+            sender_cls=sender_cls,
             initial_cwnd=SHORT_FLOW_CWND,
             seed=seed * 1009 + idx,
-            min_rto=CAMPAIGN_MIN_RTO,
+            **rto_kwargs,
         )
         for idx, src in enumerate(sources)
     ]
@@ -137,37 +200,39 @@ def run_cell(params: Dict[str, Any]) -> Dict[str, Any]:
     incast_app = None
     if fan_in > 0:
         workers = _disturbance_hosts(fabric)
-        if scenario == "buildup":
-            for i in range(fan_in):
-                flow = open_flow(
-                    workers[i % len(workers)],
-                    client,
-                    sender_cls=DctcpSender,
-                    total_packets=None,
-                    min_rto=CAMPAIGN_MIN_RTO,
-                )
-                flow.start()
-                bulk_flows.append(flow)
-        else:  # incast
+        if scenario == "incast":
             incast_app = FanInApp(
                 client,
                 workers,
                 n_flows=fan_in,
                 bytes_per_flow=int(params["incast_bytes_per_flow"]),
                 n_queries=1_000_000,  # window-limited, never count-limited
-                sender_cls=DctcpSender,
+                sender_cls=sender_cls,
                 initial_cwnd=2,
-                min_rto=CAMPAIGN_MIN_RTO,
                 start_jitter=10e-6,
                 jitter_seed=seed,
+                **rto_kwargs,
             )
             incast_app.start()
+        else:  # buildup and space-dc share the bulk disturbance
+            for i in range(fan_in):
+                flow = open_flow(
+                    workers[i % len(workers)],
+                    client,
+                    sender_cls=sender_cls,
+                    total_packets=None,
+                    **rto_kwargs,
+                )
+                flow.start()
+                bulk_flows.append(flow)
 
     monitor = QueueMonitor(
         fabric.sim, fabric.downlink_queue(client), interval=20e-6
     )
     monitor.start()
     fabric.sim.run(until=duration)
+    if watchdog is not None:
+        watchdog.check()
 
     queue = monitor.series(after=warmup)
     totals = _fabric_totals(fabric)
@@ -193,6 +258,7 @@ def run_cell(params: Dict[str, Any]) -> Dict[str, Any]:
             if incast_app is not None
             else 0
         ),
+        "chaos_drops": chaos.packets_dropped if chaos is not None else 0,
         "events_processed": fabric.sim.events_processed,
     }
 

@@ -31,13 +31,24 @@ class CellSummary:
 
     coord: CellCoord
     fct: FctAggregate
+    #: FCTs normalised by the cell's ideal base FCT (unloaded RTT plus
+    #: access-link serialisation): the slowdown distribution.  Computed
+    #: here from the raw samples — never inside cells — so it costs
+    #: nothing in cache keys or cached payloads.
+    fct_slowdown: FctAggregate
     #: Seeds whose case failed (or was skipped); empty when complete.
     missing_seeds: Tuple[int, ...]
     #: Time-average bottleneck queue, averaged over available seeds.
     mean_queue_pkts: float
+    #: Queue-oscillation amplitude: per-seed stddev of the bottleneck
+    #: occupancy, averaged over available seeds (the paper's headline
+    #: stability metric).
+    std_queue_pkts: float
     fabric_marks: int
     fabric_drops: int
     incast_timeouts: int
+    #: Packets the fault layer consumed (0 outside chaos scenarios).
+    chaos_drops: int
 
     @property
     def complete(self) -> bool:
@@ -86,7 +97,9 @@ class CampaignResult:
                     fct.describe("50"),
                     fct.describe("95"),
                     fct.describe("99"),
+                    cell.fct_slowdown.describe("99", scale=1.0, unit="x"),
                     f"{cell.mean_queue_pkts:.1f}",
+                    f"{cell.std_queue_pkts:.1f}",
                 )
             )
         return rows
@@ -100,6 +113,15 @@ def run_campaign(
     """Run every cell of ``grid`` and aggregate seeds per cell."""
     cases = grid.expand()
     raw = execute_cases(cases, executor, stage=stage)
+
+    # Ideal base FCT of one short flow on an unloaded fabric: 4 hops out
+    # + 4 back at the per-hop propagation delay, plus serialising the
+    # flow at the access rate.  The slowdown denominator for every cell
+    # of the grid (the fabric shape is a grid constant, not an axis).
+    base_fct = (
+        8.0 * grid.per_hop_delay
+        + grid.flow_bytes * 8.0 / grid.host_bandwidth_bps
+    )
 
     cells: List[CellSummary] = []
     n_seeds = len(grid.seeds)
@@ -118,15 +140,29 @@ def run_campaign(
             CellSummary(
                 coord=coord,
                 fct=aggregate_fcts(fcts, started),
+                fct_slowdown=aggregate_fcts(
+                    [fct / base_fct for fct in fcts], started
+                ),
                 missing_seeds=missing,
                 mean_queue_pkts=(
                     sum(r["mean_queue_pkts"] for r in landed) / len(landed)
                     if landed
                     else 0.0
                 ),
+                # .get: cached payloads from before the chaos PR carry
+                # neither key; they aggregate as 0 rather than erroring.
+                std_queue_pkts=(
+                    sum(r.get("std_queue_pkts", 0.0) for r in landed)
+                    / len(landed)
+                    if landed
+                    else 0.0
+                ),
                 fabric_marks=sum(r["fabric_marks"] for r in landed),
                 fabric_drops=sum(r["fabric_drops"] for r in landed),
                 incast_timeouts=sum(r["incast_timeouts"] for r in landed),
+                chaos_drops=sum(
+                    r.get("chaos_drops", 0) for r in landed
+                ),
             )
         )
     return CampaignResult(grid=grid, cells=cells)

@@ -19,17 +19,29 @@ them.
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Dict, Iterator, List, Sequence, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.exec.cases import Case
 
-__all__ = ["SCENARIOS", "CampaignGrid", "CellCoord", "threshold_label"]
+__all__ = [
+    "SCENARIOS",
+    "SENDERS",
+    "CampaignGrid",
+    "CellCoord",
+    "threshold_label",
+]
 
-#: The two disturbance workloads a cell can run behind its short flows:
+#: The disturbance workloads a cell can run behind its short flows:
 #: ``buildup`` pins long-lived bulk flows on the client's downlink (the
 #: queue-buildup microbenchmark at fabric scale), ``incast`` fires
-#: synchronized fan-in bursts at the client.
-SCENARIOS = ("buildup", "incast")
+#: synchronized fan-in bursts at the client, and ``space-dc`` is the
+#: buildup workload on a hostile wide-area fabric — 200 ms-class RTTs,
+#: per-packet propagation jitter, and deterministic link-flap trains
+#: from a seeded :class:`~repro.sim.chaos.ChaosSchedule`.
+SCENARIOS = ("buildup", "incast", "space-dc")
+
+#: Sender implementations a cell can drive its traffic with.
+SENDERS = ("dctcp", "cubic")
 
 EXPERIMENT = "repro.campaign.cells"
 
@@ -53,9 +65,14 @@ class CellCoord:
     scenario: str
     load: float
     fan_in: int
+    #: Sender implementation driving the cell's traffic; ``"cubic"``
+    #: rides the same marking fabric but reacts to loss, not marks.
+    sender: str = "dctcp"
 
     @property
     def protocol(self) -> str:
+        if self.sender != "dctcp":
+            return self.sender.upper()
         return threshold_label(self.thresholds)
 
     def label(self) -> str:
@@ -94,6 +111,28 @@ class CampaignGrid:
     duration: float = 0.04
     warmup: float = 0.008
 
+    # -- protocol axis ---------------------------------------------------
+    #: Sender per threshold config, zip-paired with ``thresholds`` (NOT
+    #: crossed): entry ``i`` drives the cells of ``thresholds[i]``.
+    #: ``None`` means all-DCTCP.  A 3-protocol comparison is e.g.
+    #: ``thresholds=((65,), (50, 80), (65,))`` with
+    #: ``senders=("dctcp", "dctcp", "cubic")``.
+    senders: Optional[Tuple[str, ...]] = None
+
+    # -- chaos (space-dc cells only) -------------------------------------
+    #: Per-packet propagation jitter amplitude on every fabric link.
+    jitter_s: float = 2e-3
+    #: Link-flap train on the last source leaf's uplink: one ``flap_down``
+    #: outage per ``flap_period``, ``flap_count`` times, starting at the
+    #: end of warmup.  ``flap_count=0`` disables the train.
+    flap_period: float = 2.0
+    flap_down: float = 0.5
+    flap_count: int = 3
+
+    #: Run the invariant watchdog inside every cell (conservation audit
+    #: after the window closes; violations fail the case).
+    invariants: bool = False
+
     def __post_init__(self) -> None:
         if not self.thresholds:
             raise ValueError("campaign needs at least one threshold config")
@@ -121,6 +160,28 @@ class CampaignGrid:
             raise ValueError("campaign needs at least one seed")
         if len(set(self.seeds)) != len(self.seeds):
             raise ValueError(f"duplicate seeds: {self.seeds}")
+        if self.senders is not None:
+            if len(self.senders) != len(self.thresholds):
+                raise ValueError(
+                    f"senders ({len(self.senders)}) must pair 1:1 with "
+                    f"threshold configs ({len(self.thresholds)})"
+                )
+            for sender in self.senders:
+                if sender not in SENDERS:
+                    raise ValueError(
+                        f"unknown sender {sender!r}; choose from {SENDERS}"
+                    )
+        if self.jitter_s < 0:
+            raise ValueError(f"jitter_s must be >= 0, got {self.jitter_s}")
+        if self.flap_count < 0:
+            raise ValueError(
+                f"flap_count must be >= 0, got {self.flap_count}"
+            )
+        if self.flap_count > 0 and not 0 < self.flap_down < self.flap_period:
+            raise ValueError(
+                "flap train needs 0 < flap_down < flap_period, got "
+                f"flap_down={self.flap_down}, flap_period={self.flap_period}"
+            )
         if self.n_leaves < 2:
             raise ValueError(
                 "campaign cells send cross-leaf traffic; need >= 2 leaves"
@@ -130,7 +191,8 @@ class CampaignGrid:
 
     def coords(self) -> Iterator[CellCoord]:
         """Non-seed cells in expansion order."""
-        for thresholds in self.thresholds:
+        senders = self.senders or ("dctcp",) * len(self.thresholds)
+        for thresholds, sender in zip(self.thresholds, senders):
             for scenario in self.scenarios:
                 for load in self.loads:
                     for fan_in in self.fan_ins:
@@ -139,6 +201,7 @@ class CampaignGrid:
                             scenario=scenario,
                             load=load,
                             fan_in=fan_in,
+                            sender=sender,
                         )
 
     def expand(self) -> List[Case]:
@@ -154,8 +217,14 @@ class CampaignGrid:
         ]
 
     def cell_params(self, coord: CellCoord, seed: int) -> Dict[str, Any]:
-        """The flat, JSON-serialisable parameter set of one cell."""
-        return {
+        """The flat, JSON-serialisable parameter set of one cell.
+
+        New optional keys (``sender``, the chaos knobs, ``invariants``)
+        are included only when they deviate from historic behaviour, so
+        every pre-existing grid keeps its exact content-addressed cache
+        keys.
+        """
+        params = {
             "thresholds": list(coord.thresholds),
             "scenario": coord.scenario,
             "load": coord.load,
@@ -173,6 +242,16 @@ class CampaignGrid:
             "duration": self.duration,
             "warmup": self.warmup,
         }
+        if coord.sender != "dctcp":
+            params["sender"] = coord.sender
+        if coord.scenario == "space-dc":
+            params["jitter_s"] = self.jitter_s
+            params["flap_period"] = self.flap_period
+            params["flap_down"] = self.flap_down
+            params["flap_count"] = self.flap_count
+        if self.invariants:
+            params["invariants"] = True
+        return params
 
     @property
     def n_cells(self) -> int:

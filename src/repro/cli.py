@@ -238,25 +238,32 @@ def _run_simulate(args: argparse.Namespace) -> int:
     flows = launch_bulk_flows(network, sender_cls=protocol.sender_cls)
     monitor = QueueMonitor(network.sim, network.bottleneck_queue, 20e-6)
     monitor.start()
+    watchdog = None
+    if args.invariants:
+        from repro.sim.invariants import InvariantWatchdog
+
+        watchdog = InvariantWatchdog(network.network)
+        watchdog.start(args.duration / 16.0)
     network.sim.run(until=args.duration)
+    if watchdog is not None:
+        watchdog.check()
     queue = monitor.series(after=args.duration * 0.4)
     delivered = sum(f.receiver.packets_received for f in flows)
     alphas = [f.sender.alpha for f in flows]
-    print_table(
-        ["quantity", "value"],
-        [
-            ("protocol", protocol.name),
-            ("flows", args.flows),
-            ("mean queue (pkts)", float(queue.mean())),
-            ("std queue (pkts)", float(queue.std())),
-            ("mean alpha", sum(alphas) / len(alphas)),
-            ("goodput (Gbps)", delivered * 1500 * 8 / args.duration / 1e9),
-            ("marks", network.bottleneck_queue.stats.marked),
-            ("drops", network.bottleneck_queue.stats.dropped),
-            ("events processed", network.sim.events_processed),
-        ],
-        title="dumbbell simulation",
-    )
+    rows = [
+        ("protocol", protocol.name),
+        ("flows", args.flows),
+        ("mean queue (pkts)", float(queue.mean())),
+        ("std queue (pkts)", float(queue.std())),
+        ("mean alpha", sum(alphas) / len(alphas)),
+        ("goodput (Gbps)", delivered * 1500 * 8 / args.duration / 1e9),
+        ("marks", network.bottleneck_queue.stats.marked),
+        ("drops", network.bottleneck_queue.stats.dropped),
+        ("events processed", network.sim.events_processed),
+    ]
+    if watchdog is not None:
+        rows.append(("invariant checks passed", watchdog.checks_run))
+    print_table(["quantity", "value"], rows, title="dumbbell simulation")
     return 0
 
 
@@ -339,12 +346,55 @@ def _parse_threshold_configs(args: argparse.Namespace):
         if len(parts) != 2:
             raise SystemExit(f"--k1k2 wants 'K1,K2', got {pair!r}")
         configs.append((float(parts[0]), float(parts[1])))
-    # Default: the paper's Fixed-K and DT-DCTCP simulation settings.
-    return tuple(configs) or ((40.0,), (30.0, 50.0))
+    return tuple(configs)
 
 
 def _csv(text: str, cast):
     return tuple(cast(part) for part in text.split(",") if part)
+
+
+#: ``campaign --scenario`` presets: defaults a preset supplies for every
+#: flag the user left unset.  ``space-dc`` is the chaos stress regime —
+#: a satellite-grade fabric (200 ms base RTT over 8 hops, 1 Gbps access)
+#: with per-packet jitter and a deterministic link-flap train, comparing
+#: DCTCP, DT-DCTCP and CUBIC.
+_CAMPAIGN_PRESETS = {
+    "space-dc": {
+        "scenarios": "space-dc",
+        "loads": "0.1",
+        "fan_ins": "2",
+        "host_bandwidth": 1e9,
+        "fabric_bandwidth": 4e9,
+        "per_hop_delay": 25e-3,
+        "duration": 10.0,
+        "warmup": 1.0,
+        "thresholds": ((65.0,), (50.0, 80.0), (65.0,)),
+        "senders": "dctcp,dctcp,cubic",
+    },
+}
+
+#: Defaults used when no preset (and no explicit flag) applies.
+_CAMPAIGN_DEFAULTS = {
+    "scenarios": "buildup",
+    "loads": "0.2,0.4",
+    "fan_ins": "0,8",
+    "host_bandwidth": 10e9,
+    "fabric_bandwidth": 40e9,
+    "per_hop_delay": 5e-6,
+    "duration": 0.04,
+    "warmup": 0.008,
+    # The paper's Fixed-K and DT-DCTCP simulation settings.
+    "thresholds": ((40.0,), (30.0, 50.0)),
+    "senders": None,
+}
+
+
+def _campaign_setting(args: argparse.Namespace, preset: dict, key: str):
+    """Explicit flag > preset value > global default, per setting."""
+    value = getattr(args, key)
+    if value is not None:
+        return value
+    return preset.get(key, _CAMPAIGN_DEFAULTS[key])
 
 
 def cmd_campaign(args: argparse.Namespace) -> int:
@@ -354,21 +404,43 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     from repro.campaign import CampaignGrid, run_campaign
     from repro.exec import ResultCache, SweepExecutor, default_cache_dir
 
+    preset = _CAMPAIGN_PRESETS.get(args.scenario or "", {})
+    thresholds = _parse_threshold_configs(args)
+    senders = args.senders
+    if not thresholds:
+        # Only when the user named no marking config at all may the
+        # preset pick the protocol axis (thresholds + paired senders).
+        thresholds = preset.get(
+            "thresholds", _CAMPAIGN_DEFAULTS["thresholds"]
+        )
+        if senders is None:
+            senders = preset.get("senders", _CAMPAIGN_DEFAULTS["senders"])
+
+    def setting(key):
+        return _campaign_setting(args, preset, key)
+
     try:
         grid = CampaignGrid(
-            thresholds=_parse_threshold_configs(args),
-            loads=_csv(args.loads, float),
-            fan_ins=_csv(args.fan_ins, int),
-            scenarios=_csv(args.scenarios, str),
+            thresholds=thresholds,
+            loads=_csv(setting("loads"), float),
+            fan_ins=_csv(setting("fan_ins"), int),
+            scenarios=_csv(setting("scenarios"), str),
             seeds=_csv(args.seeds, int),
             n_leaves=args.leaves,
             n_spines=args.spines,
             hosts_per_leaf=args.hosts_per_leaf,
-            host_bandwidth_bps=args.host_bandwidth,
-            fabric_bandwidth_bps=args.fabric_bandwidth,
+            host_bandwidth_bps=setting("host_bandwidth"),
+            fabric_bandwidth_bps=setting("fabric_bandwidth"),
+            per_hop_delay=setting("per_hop_delay"),
             flow_bytes=args.flow_bytes,
-            duration=args.duration,
-            warmup=args.warmup,
+            duration=setting("duration"),
+            warmup=setting("warmup"),
+            senders=_csv(senders, str) if senders is not None else None,
+            jitter_s=args.jitter,
+            flap_period=args.flap_period,
+            flap_down=args.flap_down,
+            flap_count=args.flap_count,
+            invariants=args.invariants,
         )
     except ValueError as exc:
         print(f"invalid campaign grid: {exc}", file=sys.stderr)
@@ -401,7 +473,9 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             "FCT p50",
             "FCT p95",
             "FCT p99",
+            "slowdown p99",
             "queue (pkts)",
+            "queue std",
         ],
         result.table_rows(),
         title=(
@@ -646,6 +720,9 @@ def build_parser() -> argparse.ArgumentParser:
                    default="dctcp")
     p.add_argument("--duration", type=float, default=0.03)
     p.add_argument("--rtt", type=float, default=100e-6)
+    p.add_argument("--invariants", action="store_true",
+                   help="audit packet conservation / queue / pool "
+                        "invariants during and after the run")
     _add_profile_args(p)
     p.set_defaults(func=cmd_simulate)
 
@@ -691,36 +768,63 @@ def build_parser() -> argparse.ArgumentParser:
         "campaign",
         help="FCT grid campaign on the leaf-spine fabric",
     )
+    p.add_argument("--scenario", choices=sorted(_CAMPAIGN_PRESETS),
+                   default=None,
+                   help="named preset filling every flag left unset "
+                        "(space-dc: 200 ms-RTT chaos stress, "
+                        "DCTCP vs DT-DCTCP vs CUBIC)")
     p.add_argument("--k", type=float, action="append", metavar="K",
                    help="one Fixed-K config in packets (repeatable)")
     p.add_argument("--k1k2", type=str, action="append", metavar="K1,K2",
                    help="one DT-DCTCP config in packets (repeatable); "
                         "default grid when neither flag is given: "
                         "--k 40 --k1k2 30,50")
-    p.add_argument("--loads", type=str, default="0.2,0.4",
+    p.add_argument("--senders", type=str, default=None, metavar="CSV",
+                   help="sender per marking config, zip-paired "
+                        "(from {dctcp, cubic}; default all-dctcp)")
+    p.add_argument("--loads", type=str, default=None,
                    help="comma-separated offered loads "
-                        "(fraction of the client's access rate)")
-    p.add_argument("--fan-ins", type=str, default="0,8",
-                   help="comma-separated disturbance sizes "
-                        "(bulk flows / incast burst width; 0 = none)")
-    p.add_argument("--scenarios", type=str, default="buildup",
-                   help="comma-separated from {buildup, incast}")
+                        "(fraction of the client's access rate; "
+                        "default 0.2,0.4)")
+    p.add_argument("--fan-ins", type=str, default=None,
+                   help="comma-separated disturbance sizes (bulk flows / "
+                        "incast burst width; 0 = none; default 0,8)")
+    p.add_argument("--scenarios", type=str, default=None,
+                   help="comma-separated from {buildup, incast, space-dc} "
+                        "(default buildup)")
     p.add_argument("--seeds", type=str, default="1,2,3",
                    help="comma-separated replicate seeds "
                         "(also salt ECMP placement)")
     p.add_argument("--leaves", type=_positive_int, default=3)
     p.add_argument("--spines", type=_positive_int, default=2)
     p.add_argument("--hosts-per-leaf", type=_positive_int, default=2)
-    p.add_argument("--host-bandwidth", type=float, default=10e9,
-                   metavar="BPS")
-    p.add_argument("--fabric-bandwidth", type=float, default=40e9,
-                   metavar="BPS")
+    p.add_argument("--host-bandwidth", type=float, default=None,
+                   metavar="BPS", help="access-link rate (default 10e9)")
+    p.add_argument("--fabric-bandwidth", type=float, default=None,
+                   metavar="BPS", help="fabric-link rate (default 40e9)")
+    p.add_argument("--per-hop-delay", type=float, default=None,
+                   metavar="SECONDS",
+                   help="propagation delay per hop (default 5e-6; "
+                        "space-dc preset: 25e-3)")
     p.add_argument("--flow-bytes", type=_positive_int, default=20 * 1024,
                    help="short-flow transfer size")
-    p.add_argument("--duration", type=float, default=0.04,
-                   help="simulated window per cell (seconds)")
-    p.add_argument("--warmup", type=float, default=0.008,
-                   help="queue statistics discard this prefix (seconds)")
+    p.add_argument("--duration", type=float, default=None,
+                   help="simulated window per cell (seconds; default 0.04)")
+    p.add_argument("--warmup", type=float, default=None,
+                   help="queue statistics discard this prefix "
+                        "(seconds; default 0.008)")
+    p.add_argument("--jitter", type=float, default=2e-3, metavar="SECONDS",
+                   help="space-dc cells: per-packet propagation jitter "
+                        "amplitude on every fabric link")
+    p.add_argument("--flap-period", type=float, default=2.0,
+                   help="space-dc cells: seconds between link flaps")
+    p.add_argument("--flap-down", type=float, default=0.5,
+                   help="space-dc cells: outage length per flap")
+    p.add_argument("--flap-count", type=int, default=3,
+                   help="space-dc cells: flaps in the train (0 disables)")
+    p.add_argument("--invariants", action="store_true",
+                   help="audit conservation invariants inside every cell "
+                        "(a violation fails the case)")
     p.add_argument("--jobs", type=_positive_int, default=1,
                    help="worker processes for the sweep executor")
     p.add_argument("--cache-dir", type=Path, default=None,

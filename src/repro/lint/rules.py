@@ -192,10 +192,16 @@ class UnseededRandomRule(Rule):
         "or numpy.random.default_rng(seed) and pass it down."
     )
     scope = ("repro.sim", "repro.fluid", "repro.campaign")
+    #: Modules where even a *seeded* constructor is suspect when the
+    #: seed is a literal: all fault-layer randomness must derive from
+    #: the ChaosSchedule seed (via ``derive_stream_seed``), or two
+    #: schedules with different seeds would replay identical faults.
+    chaos_scope = ("repro.sim.chaos",)
 
     def visit(self, ctx: FileContext) -> Iterator[Finding]:
         if not _module_in(ctx.module, self.scope):
             return
+        in_chaos = _module_in(ctx.module, self.chaos_scope)
         aliases = _import_aliases(ctx)
         for node in ast.walk(ctx.tree):
             if not isinstance(node, ast.Call):
@@ -204,6 +210,8 @@ class UnseededRandomRule(Rule):
             if name is None:
                 continue
             finding = self._classify(name, node)
+            if finding is None and in_chaos:
+                finding = self._classify_chaos_seed(name, node)
             if finding is not None:
                 yield ctx.finding(self.id, node, finding)
 
@@ -239,6 +247,37 @@ class UnseededRandomRule(Rule):
                     f"{name}() mutates numpy's global RNG state; use a "
                     "seeded numpy.random.default_rng(seed)"
                 )
+        return None
+
+    @staticmethod
+    def _classify_chaos_seed(name: str, node: ast.Call) -> Optional[str]:
+        """Literal seeds inside the fault layer (``chaos_scope`` only).
+
+        ``random.Random(1234)`` passes the base rule but is still wrong
+        in ``repro.sim.chaos``: the stream would be identical for every
+        schedule, so two campaigns with different seeds would replay the
+        same losses and jitter.  Seeds there must flow from the
+        ``ChaosSchedule`` seed through ``derive_stream_seed``.
+        """
+        is_ctor = name == "random.Random" or any(
+            name == prefix + attr
+            for prefix in ("numpy.random.", "np.random.")
+            for attr in ("default_rng", "RandomState")
+        )
+        if not is_ctor:
+            return None
+        seed_expr = node.args[0] if node.args else None
+        if seed_expr is None:
+            for keyword in node.keywords:
+                if keyword.arg == "seed":
+                    seed_expr = keyword.value
+                    break
+        if isinstance(seed_expr, ast.Constant):
+            return (
+                f"{name}({seed_expr.value!r}) hard-codes the fault-layer "
+                "seed; chaos RNG streams must derive from the "
+                "ChaosSchedule seed (derive_stream_seed)"
+            )
         return None
 
 

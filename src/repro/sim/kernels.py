@@ -129,6 +129,16 @@ REGISTRY: Dict[str, KernelSwitch] = {
             choices=None,
             description="result-cache directory (path, not a kernel pair)",
         ),
+        KernelSwitch(
+            env="REPRO_INVARIANTS",
+            default="0",
+            oracle=None,
+            choices=("0", "1"),
+            description=(
+                "run the invariant watchdog inside campaign cells "
+                "(diagnostic toggle, not a kernel pair)"
+            ),
+        ),
     )
 }
 

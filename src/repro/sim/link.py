@@ -124,6 +124,7 @@ class Interface:
         "_q_fused",
         "packets_delivered",
         "tap",
+        "chaos",
     )
 
     def __init__(
@@ -195,6 +196,14 @@ class Interface:
         #: Optional observer called with (time, packet, interface) at the
         #: instant of delivery; see :class:`repro.sim.packet_log.PacketLogger`.
         self.tap = None
+        #: Per-interface fault state installed by
+        #: :meth:`repro.sim.chaos.ChaosSchedule.install`; ``None`` on
+        #: every untargeted interface.  Installation forces this
+        #: interface onto the two-event model *before traffic*, so the
+        #: busy-until fast lane above never tests the hook — only the
+        #: two-event bodies below carry the (cheap) ``chaos is None``
+        #: branches, and a zero-fault schedule perturbs nothing at all.
+        self.chaos = None
 
     def connect(self, peer: "Node") -> None:
         """Attach the receiving node at the far end of the channel."""
@@ -415,6 +424,12 @@ class Interface:
     # ------------------------------------------------------------------
 
     def _send_two_event(self, packet: Packet) -> bool:
+        chaos = self.chaos
+        if chaos is not None and not chaos.admit(packet, self.sim._now):
+            # Consumed by the fault layer (link down, or a seeded loss
+            # draw): recycled and counted there, exactly like a queue
+            # drop from the caller's point of view.
+            return False
         admitted = self.queue.enqueue(packet)
         if admitted and not self._transmitting:
             self._start_next()
@@ -429,7 +444,19 @@ class Interface:
         self.sim.post(self.transmission_time(packet), self._on_tx_done, packet)
 
     def _on_tx_done(self, packet: Packet) -> None:
-        self.sim.post(self.prop_delay, self._deliver, packet)
+        chaos = self.chaos
+        if chaos is None:
+            self.sim.post(self.prop_delay, self._deliver, packet)
+        else:
+            # Per-packet propagation jitter from the schedule's seeded
+            # stream; the hook returns an absolute delivery instant,
+            # clamped so deliveries stay FIFO (a wire with variable
+            # delay still never reorders).
+            self.sim.post_at(
+                chaos.deliver_time_for(self.prop_delay, self.sim._now),
+                self._deliver,
+                packet,
+            )
         self._start_next()
 
     # ------------------------------------------------------------------
@@ -460,6 +487,12 @@ class Interface:
         self._peer_receive(packet)
 
     def _deliver(self, packet: Packet) -> None:
+        chaos = self.chaos
+        if chaos is not None and not chaos.deliver(packet, self.sim._now):
+            # The wire was cut under this packet (or an ECN-mangling
+            # window rewrote it and then the link dropped): recycled and
+            # counted by the hook.
+            return
         self.packets_delivered += 1
         if self.tap is not None:
             self.tap(self.sim.now, packet, self)

@@ -256,6 +256,19 @@ class Switch(Node):
         # drop them all rather than tracking per-destination validity.
         self._route_cache.clear()
 
+    def withdraw_route(self, dst_node_id: int) -> None:
+        """Remove every route toward ``dst_node_id`` (packets become
+        unroutable until a new set is installed).
+
+        The fault layer (:mod:`repro.sim.chaos`) withdraws destinations
+        whose only next hop rides a downed link; like every other FIB
+        mutation this invalidates the memoized bound-``send`` entries,
+        or the fast datapath would keep forwarding into the dead
+        interface from the cache.
+        """
+        self.fib.pop(dst_node_id, None)
+        self._route_cache.clear()
+
     def reset(self) -> None:
         """Forget forwarding state: FIB, memoized routes, counters."""
         self.fib.clear()

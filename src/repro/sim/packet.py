@@ -38,6 +38,7 @@ __all__ = [
     "HEADER_BYTES",
     "reset_packet_uids",
     "packet_pool_size",
+    "live_pooled_packets",
 ]
 
 #: Maximum segment size: the paper's "each packet is about 1.5KB".
@@ -55,6 +56,20 @@ _free_list: List["Packet"] = []
 #: Free-list cap: enough for the deepest experiment backlog, small
 #: enough that a burst does not pin memory forever.
 _MAX_POOL = 8192
+
+#: Pool-backed packets currently live (acquired, not yet recycled).
+#: The invariant watchdog (:mod:`repro.sim.invariants`) balances this
+#: against the packets it can locate in queues and on the wire: any
+#: surplus is a leak — a consumer that dropped a pooled packet without
+#: recycling it.  Never reset: a live packet from an earlier simulation
+#: must still decrement the counter when (if ever) it is recycled, so
+#: leak checks are taken relative to a baseline, not to zero.
+_live_pooled = 0
+
+
+def live_pooled_packets() -> int:
+    """Pool-backed packets acquired and not yet recycled, process-wide."""
+    return _live_pooled
 
 
 def reset_packet_uids(start: int = 0) -> None:
@@ -159,6 +174,8 @@ class Packet:
         ``__init__``, so every slot — including a fresh ``uid`` — is
         re-initialised exactly as construction would), else constructs.
         """
+        global _live_pooled
+        _live_pooled += 1
         if _free_list:
             packet = _free_list.pop()
             packet.__init__(
@@ -193,6 +210,8 @@ class Packet:
         double recycle can never put one object on the list twice).
         """
         if self.pooled:
+            global _live_pooled
+            _live_pooled -= 1
             self.pooled = False
             if len(_free_list) < _MAX_POOL:
                 _free_list.append(self)

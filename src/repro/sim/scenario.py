@@ -36,6 +36,7 @@ from repro.core.marking import (
 )
 from repro.sim.apps.bulk import launch_bulk_flows
 from repro.sim.apps.incast import FanInApp
+from repro.sim.invariants import InvariantWatchdog
 from repro.sim.tcp.sender import (
     DctcpSender,
     EcnRenoSender,
@@ -54,6 +55,15 @@ _SENDERS = {
 }
 
 _WORKLOADS = ("bulk", "incast", "partition-aggregate")
+
+
+def _arm_watchdog(network, enabled: bool, interval: float):
+    """An armed :class:`InvariantWatchdog`, or ``None`` when disabled."""
+    if not enabled:
+        return None
+    watchdog = InvariantWatchdog(network)
+    watchdog.start(interval)
+    return watchdog
 
 
 @dataclasses.dataclass(frozen=True)
@@ -136,8 +146,18 @@ class ScenarioResult:
     completion_times: Tuple[float, ...] = ()
 
 
-def run_scenario(scenario: Scenario) -> ScenarioResult:
-    """Build, run and summarise one scenario."""
+def run_scenario(
+    scenario: Scenario, invariants: bool = False
+) -> ScenarioResult:
+    """Build, run and summarise one scenario.
+
+    With ``invariants=True`` an :class:`~repro.sim.invariants.\
+InvariantWatchdog` audits the packet-conservation ledgers periodically
+    during the run and once after it, raising
+    :class:`~repro.sim.invariants.InvariantViolation` on the first
+    breach.  The watchdog only *reads* simulator state, so results are
+    unchanged; it is off by default because the audit walks every queue.
+    """
     sender_cls = _SENDERS[scenario.protocol]
     sender_kwargs = {"use_sack": scenario.use_sack}
     if sender_cls is DctcpSender:
@@ -163,7 +183,12 @@ def run_scenario(scenario: Scenario) -> ScenarioResult:
             network.sim, [f.sender for f in flows], interval=200e-6
         )
         alpha_monitor.start()
+        watchdog = _arm_watchdog(
+            network.network, invariants, scenario.duration / 16.0
+        )
         network.sim.run(until=scenario.duration)
+        if watchdog is not None:
+            watchdog.check()
         series = monitor.series(after=scenario.warmup)
         alphas = alpha_monitor.series(after=scenario.warmup)
         delivered = sum(f.receiver.packets_received for f in flows)
@@ -203,7 +228,10 @@ def run_scenario(scenario: Scenario) -> ScenarioResult:
     monitor = QueueMonitor(testbed.sim, queue, interval=20e-6)
     monitor.start()
     app.start()
+    watchdog = _arm_watchdog(testbed.network, invariants, 1e-3)
     testbed.sim.run(until=60.0 * scenario.n_queries)
+    if watchdog is not None:
+        watchdog.check()
     series = monitor.series(after=0.0)
     times = tuple(app.completion_times())
     return ScenarioResult(

@@ -72,8 +72,14 @@ class CubicSender(TcpSender):
         self._arm_rto()
 
     def _on_rto(self) -> None:
-        outstanding = self.in_flight
+        # Only an *actual* expiry restarts the cubic epoch.  The base
+        # method also fires for soft-deadline re-sleeps (the deadline
+        # moved; nothing timed out), so the cumulative ``timeouts``
+        # counter must be compared around the call — testing its mere
+        # truthiness reset the epoch on every re-sleep after the first
+        # real timeout, diverging from the eager timer model.
+        before = self.timeouts
         super()._on_rto()
-        if self.timeouts and outstanding:
+        if self.timeouts > before:
             self._w_max = max(self.ssthresh / self.BETA, 2.0)
             self._epoch_start = None

@@ -156,6 +156,18 @@ class Network:
         except KeyError:
             raise KeyError(f"no link between nodes {a_id} and {b_id}") from None
 
+    def all_interfaces(self) -> Tuple[Interface, ...]:
+        """Every sending interface of the network, in connect order.
+
+        The invariant auditor (:mod:`repro.sim.invariants`) walks this to
+        balance the packet-conservation ledger; fault installation
+        (:mod:`repro.sim.chaos`) never needs it because faults name
+        links, not the whole fabric.
+        """
+        return tuple(
+            iface for group in self._interfaces.values() for iface in group
+        )
+
     def finalize_routes(self, ecmp_seed: int = 0) -> None:
         """Install static shortest-path routes on all switches.
 

@@ -113,6 +113,15 @@ class TestRunCampaign:
         b = run_campaign(tiny_grid())
         assert a.to_dict() == b.to_dict()
 
+    def test_invariants_audit_runs_clean_and_read_only(self):
+        # The in-cell watchdog must neither raise nor change a single
+        # aggregate (it only reads ledgers; only the cache key differs).
+        plain = run_campaign(tiny_grid()).cells[0]
+        audited = run_campaign(tiny_grid(invariants=True)).cells[0]
+        assert audited.fct == plain.fct
+        assert audited.mean_queue_pkts == plain.mean_queue_pkts
+        assert audited.std_queue_pkts == plain.std_queue_pkts
+
 
 class TestExecutorIntegration:
     def test_warm_rerun_all_hits_and_identical(self, tmp_path):
@@ -173,3 +182,106 @@ class TestExecutorIntegration:
         assert not result.complete
         assert cell.fct.n_started > 0  # seed 1 still aggregated
         assert "seed(s) missing" in result.table_rows()[0][4]
+
+    def test_pre_chaos_cached_payloads_still_aggregate(self):
+        """Cache entries written before the chaos PR lack the new result
+        keys; they must aggregate as zeros, not KeyError."""
+        import repro.campaign.driver as driver_mod
+
+        grid = tiny_grid()
+        raw = [driver_mod.execute_cases([c], None)[0] for c in grid.expand()]
+        for result in raw:
+            del result["std_queue_pkts"]
+            del result["chaos_drops"]
+
+        real_execute = driver_mod.execute_cases
+        try:
+            driver_mod.execute_cases = lambda cases, ex, stage="": raw
+            result = run_campaign(grid)
+        finally:
+            driver_mod.execute_cases = real_execute
+
+        cell = result.cells[0]
+        assert cell.complete
+        assert cell.std_queue_pkts == 0.0
+        assert cell.chaos_drops == 0
+
+
+def space_dc_grid(**overrides):
+    """One miniature space-DC cell: wide-area RTT, jitter, one flap.
+
+    Scaled so the whole thing runs inline in a test — per-hop delay in
+    the hundreds of microseconds instead of 25 ms, one 2 ms flap inside
+    a 40 ms window.
+    """
+    defaults = dict(
+        thresholds=((40.0,),),
+        loads=(0.2,),
+        fan_ins=(1,),
+        scenarios=("space-dc",),
+        seeds=(1,),
+        n_leaves=2,
+        n_spines=1,
+        hosts_per_leaf=1,
+        host_bandwidth_bps=1e9,
+        fabric_bandwidth_bps=4e9,
+        per_hop_delay=200e-6,
+        duration=0.04,
+        warmup=0.004,
+        jitter_s=100e-6,
+        flap_period=0.02,
+        flap_down=0.002,
+        flap_count=1,
+    )
+    defaults.update(overrides)
+    return CampaignGrid(**defaults)
+
+
+class TestSpaceDcCells:
+    def test_chaos_cell_runs_and_reports_drops(self):
+        result = run_campaign(space_dc_grid())
+        cell = result.cells[0]
+        assert cell.complete
+        assert cell.fct.n_started > 0
+        # The flap train really cut traffic: the fault layer consumed
+        # packets, and the run survived to aggregate anyway.
+        assert cell.chaos_drops > 0
+        assert cell.std_queue_pkts >= 0.0
+
+    def test_chaos_cell_rerun_identical(self):
+        a = run_campaign(space_dc_grid())
+        b = run_campaign(space_dc_grid())
+        assert a.to_dict() == b.to_dict()
+
+    def test_seed_changes_the_chaos_realisation(self):
+        a = run_campaign(space_dc_grid()).cells[0]
+        b = run_campaign(space_dc_grid(seeds=(2,))).cells[0]
+        assert (a.chaos_drops, a.fct.n_started) != (
+            b.chaos_drops, b.fct.n_started,
+        )
+
+    def test_cubic_comparison_row(self):
+        result = run_campaign(
+            space_dc_grid(
+                thresholds=((40.0,), (40.0,)),
+                senders=("dctcp", "cubic"),
+            )
+        )
+        rows = result.table_rows()
+        assert [row[0] for row in rows] == ["K=40", "CUBIC"]
+        assert all(len(row) == 12 for row in rows)
+
+    def test_slowdown_normalises_by_base_fct(self):
+        grid = space_dc_grid()
+        result = run_campaign(grid)
+        cell = result.cells[0]
+        base_fct = (
+            8.0 * grid.per_hop_delay
+            + grid.flow_bytes * 8.0 / grid.host_bandwidth_bps
+        )
+        p50, slow50 = cell.fct.percentiles["50"], (
+            cell.fct_slowdown.percentiles["50"]
+        )
+        if p50 is not None:
+            assert slow50 == pytest.approx(p50 / base_fct)
+            assert slow50 >= 1.0  # no flow beats the unloaded ideal

@@ -6,6 +6,7 @@ import pytest
 
 from repro.campaign.grid import (
     SCENARIOS,
+    SENDERS,
     CampaignGrid,
     CellCoord,
     threshold_label,
@@ -125,4 +126,102 @@ class TestValidation:
             grid(**overrides)
 
     def test_scenarios_registry(self):
-        assert SCENARIOS == ("buildup", "incast")
+        assert SCENARIOS == ("buildup", "incast", "space-dc")
+        assert SENDERS == ("dctcp", "cubic")
+
+
+class TestSenderAxis:
+    def test_senders_zip_pair_with_thresholds(self):
+        g = grid(
+            thresholds=((65.0,), (50.0, 80.0), (65.0,)),
+            senders=("dctcp", "dctcp", "cubic"),
+        )
+        coords = list(g.coords())
+        assert [c.sender for c in coords[:: g.n_cells // 3]] == [
+            "dctcp", "dctcp", "cubic",
+        ]
+        # 3 threshold configs ZIPPED with senders, not crossed.
+        assert g.n_cells == 3 * 1 * 2 * 2
+
+    def test_protocol_label(self):
+        assert CellCoord((65.0,), "space-dc", 0.1, 2).protocol == "K=65"
+        assert (
+            CellCoord((65.0,), "space-dc", 0.1, 2, sender="cubic").protocol
+            == "CUBIC"
+        )
+
+    @pytest.mark.parametrize("overrides", [
+        dict(senders=("dctcp",)),                  # length mismatch
+        dict(senders=("dctcp", "reno")),           # unknown sender
+    ])
+    def test_rejected(self, overrides):
+        with pytest.raises(ValueError):
+            grid(**overrides)
+
+
+class TestChaosKnobs:
+    @pytest.mark.parametrize("overrides", [
+        dict(jitter_s=-1e-3),
+        dict(flap_count=-1),
+        dict(flap_down=2.0, flap_period=2.0, flap_count=1),
+        dict(flap_down=0.0, flap_period=2.0, flap_count=1),
+    ])
+    def test_rejected(self, overrides):
+        with pytest.raises(ValueError):
+            grid(**overrides)
+
+    def test_flap_geometry_unchecked_when_train_disabled(self):
+        # flap_count=0 disables the train, so its geometry is free.
+        assert grid(flap_count=0, flap_down=9.0, flap_period=2.0)
+
+
+class TestCacheKeyCompat:
+    """New optional axes must not disturb pre-existing cache keys."""
+
+    #: The exact parameter set every pre-chaos grid produced; a default
+    #: (DCTCP, non-chaos, no-invariants) cell must still produce exactly
+    #: this, or every historic content-addressed cache entry goes cold.
+    HISTORIC_KEYS = {
+        "thresholds", "scenario", "load", "fan_in", "seed",
+        "n_leaves", "n_spines", "hosts_per_leaf",
+        "host_bandwidth_bps", "fabric_bandwidth_bps",
+        "per_hop_delay", "fabric_buffer_bytes",
+        "flow_bytes", "incast_bytes_per_flow", "duration", "warmup",
+    }
+
+    def test_default_cells_keep_historic_param_set(self):
+        for case in grid(scenarios=("buildup", "incast")).expand():
+            assert set(case.params) == self.HISTORIC_KEYS
+
+    def test_space_dc_cells_add_only_chaos_knobs(self):
+        for case in grid(scenarios=("space-dc",)).expand():
+            assert set(case.params) == self.HISTORIC_KEYS | {
+                "jitter_s", "flap_period", "flap_down", "flap_count",
+            }
+
+    def test_cubic_cells_add_only_sender(self):
+        g = grid(senders=("dctcp", "cubic"))
+        dctcp_block = g.expand()[: g.n_cases // 2]
+        cubic_block = g.expand()[g.n_cases // 2 :]
+        for case in dctcp_block:
+            assert "sender" not in case.params
+        for case in cubic_block:
+            assert case.params["sender"] == "cubic"
+            assert set(case.params) == self.HISTORIC_KEYS | {"sender"}
+
+    def test_invariants_opt_in_changes_keys(self):
+        base = case_key(grid().expand()[0])
+        audited = case_key(grid(invariants=True).expand()[0])
+        assert audited != base
+        assert grid(invariants=True).expand()[0].params["invariants"] is True
+
+    def test_chaos_knobs_enter_key_only_for_space_dc(self):
+        # Changing a chaos knob re-keys space-dc cells but must leave
+        # buildup/incast cells untouched (the knob does not apply).
+        base = case_key(grid().expand()[0])
+        assert case_key(grid(jitter_s=5e-3).expand()[0]) == base
+        space = case_key(grid(scenarios=("space-dc",)).expand()[0])
+        assert (
+            case_key(grid(scenarios=("space-dc",), jitter_s=5e-3).expand()[0])
+            != space
+        )

@@ -65,6 +65,37 @@ class TestCommands:
         assert main(["figure", "99"]) == 2
         assert "unknown figure" in capsys.readouterr().err
 
+    def test_simulate_invariants_flag(self, capsys):
+        assert main([
+            "simulate", "--flows", "4", "--duration", "0.005",
+            "--invariants",
+        ]) == 0
+        assert "goodput (Gbps)" in capsys.readouterr().out
+
+    def test_campaign_space_dc_preset(self, capsys):
+        args = build_parser().parse_args(["campaign", "--scenario",
+                                          "space-dc"])
+        assert args.scenario == "space-dc"
+        # Shrink the preset's satellite-grade scale (200 ms RTT, 10 s
+        # windows) down to test size; everything left unset — the
+        # protocol axis in particular — must come from the preset.
+        assert main([
+            "campaign", "--scenario", "space-dc",
+            "--leaves", "2", "--spines", "1", "--hosts-per-leaf", "1",
+            "--per-hop-delay", "2e-4", "--duration", "0.02",
+            "--warmup", "0.004", "--seeds", "1",
+            "--jitter", "1e-4", "--flap-period", "0.01",
+            "--flap-down", "0.002", "--flap-count", "1",
+            "--loads", "0.1", "--fan-ins", "1", "--no-cache",
+        ]) == 0
+        out = capsys.readouterr().out
+        # The preset's three-protocol comparison: Fixed-K DCTCP,
+        # DT-DCTCP and the CUBIC baseline, one row each.
+        assert "K=65" in out
+        assert "K1=50,K2=80" in out
+        assert "CUBIC" in out
+        assert "space-dc" in out
+
     def test_figure_parser_accepts_executor_flags(self):
         args = build_parser().parse_args(
             ["figure", "10", "--quick", "--jobs", "4",

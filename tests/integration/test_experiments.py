@@ -192,6 +192,73 @@ class TestFig15:
             assert p.median_time <= p.p95_time <= p.p99_time
 
 
+class TestInvariantWatchdogOverExperiments:
+    """The runtime watchdog audits the real figure pipelines clean.
+
+    Every network a figure builds gets an `InvariantWatchdog` attached
+    via its topology builder; conservation, custody, pool and wedge
+    ledgers must balance throughout each experiment.
+
+    Checks run *during* each network's run (an `InvariantViolation`
+    from a periodic tick fails the figure), not after: the pool counter
+    is process-global, so a post-hoc audit of an earlier network would
+    misread the next network's in-flight packets as a leak.
+    """
+
+    def _audited(self, monkeypatch, module, builder_name, interval):
+        from repro.sim import topology
+        from repro.sim.invariants import InvariantWatchdog
+
+        real = getattr(topology, builder_name)
+        watchdogs = []
+
+        def build(*args, **kwargs):
+            built = real(*args, **kwargs)
+            watchdog = InvariantWatchdog(built.network)
+            watchdog.start(interval)
+            watchdogs.append(watchdog)
+            return built
+
+        monkeypatch.setattr(module, builder_name, build)
+        return watchdogs
+
+    def _all_audited(self, watchdogs, expected_networks):
+        assert len(watchdogs) == expected_networks
+        assert all(w.checks_run > 1 for w in watchdogs)
+
+    def test_fig01_dumbbells_audit_clean(self, monkeypatch):
+        watchdogs = self._audited(
+            monkeypatch, fig01_oscillation, "dumbbell", interval=1e-3
+        )
+        fig01_oscillation.run(tiny_scale(), n_small=5, n_large=20)
+        self._all_audited(watchdogs, expected_networks=2)
+
+    def test_queue_sweep_figures_audit_clean(self, monkeypatch):
+        # Figures 10-12 all measure through queue_sweep's dumbbells.
+        from repro.experiments import queue_sweep
+
+        watchdogs = self._audited(
+            monkeypatch, queue_sweep, "dumbbell", interval=1e-3
+        )
+        fig11_std_dev.run(tiny_scale())
+        self._all_audited(watchdogs, expected_networks=4)
+
+    def test_fig14_incast_testbeds_audit_clean(self, monkeypatch):
+        watchdogs = self._audited(
+            monkeypatch, fig14_incast, "paper_testbed", interval=50e-3
+        )
+        fig14_incast.run(tiny_scale(), flow_counts=(16,))
+        self._all_audited(watchdogs, expected_networks=2)
+
+    def test_fig15_completion_testbeds_audit_clean(self, monkeypatch):
+        watchdogs = self._audited(
+            monkeypatch, fig15_completion_time, "paper_testbed",
+            interval=50e-3,
+        )
+        fig15_completion_time.run(tiny_scale(), flow_counts=(16,))
+        self._all_audited(watchdogs, expected_networks=2)
+
+
 class TestFluidValidation:
     def test_dt_std_below_dc_everywhere(self):
         points = fluid_validation.run(tiny_scale(), flow_counts=(10, 20))

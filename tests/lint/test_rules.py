@@ -142,6 +142,48 @@ class TestUnseededRandom:
                 return random.Random(seed), np.random.default_rng(seed)
             """) == []
 
+    def test_chaos_scope_fires_on_literal_seed(self, engine):
+        # Inside the fault layer a *seeded* constructor is still wrong
+        # when the seed is a literal: every ChaosSchedule would replay
+        # the same stream regardless of its own seed.
+        findings = lint(engine, """\
+            import random
+
+            def make_stream():
+                return random.Random(1234)
+            """, module="repro.sim.chaos")
+        assert [f.rule for f in findings] == ["DET002"]
+        assert "ChaosSchedule seed" in findings[0].message
+
+    def test_chaos_scope_fires_on_literal_numpy_seed(self, engine):
+        assert rules_fired(engine, """\
+            import numpy as np
+
+            def make_stream():
+                return np.random.default_rng(seed=7)
+            """, module="repro.sim.chaos") == ["DET002"]
+
+    def test_chaos_scope_quiet_on_derived_seed(self, engine):
+        # The sanctioned shape: the stream seed flows from the schedule
+        # seed through derive_stream_seed.
+        assert rules_fired(engine, """\
+            import random
+
+            def make_stream(schedule_seed, name):
+                seed = derive_stream_seed(schedule_seed, "loss", name)
+                return random.Random(seed)
+            """, module="repro.sim.chaos") == []
+
+    def test_literal_seed_outside_chaos_scope_is_fine(self, engine):
+        # Elsewhere in the deterministic packages a literal seed is a
+        # legitimate fixed default; only the fault layer forbids it.
+        assert rules_fired(engine, """\
+            import random
+
+            def make_rng():
+                return random.Random(1234)
+            """) == []
+
     def test_out_of_scope_module_is_quiet(self, engine):
         # The executor's seeded-backoff helpers live outside the
         # deterministic packages; DET002 does not police them.

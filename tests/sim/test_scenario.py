@@ -104,3 +104,44 @@ class TestQueryScenarios:
         )
         # ~8.4 ms ideal for 1 MB at 1 Gbps.
         assert all(0.008 < t < 0.02 for t in result.completion_times)
+
+
+class TestInvariantsWiring:
+    """The opt-in watchdog audits every workload without changing it."""
+
+    def incast_spec(self):
+        return Scenario(
+            workload="incast",
+            protocol="dctcp",
+            thresholds=(32 * 1024 / 1500,),
+            n_flows=8,
+            bandwidth_bps=1e9,
+            n_queries=2,
+        )
+
+    def test_bulk_audits_clean_and_results_unchanged(self):
+        plain = run_scenario(quick())
+        audited = run_scenario(quick(), invariants=True)
+        # The watchdog only reads state: identical statistics, to the bit.
+        assert audited == plain
+
+    def test_dt_dctcp_bulk_audits_clean(self):
+        spec = quick(protocol="dt-dctcp", thresholds=(30.0, 50.0))
+        assert run_scenario(spec, invariants=True) == run_scenario(spec)
+
+    def test_incast_audits_clean_and_results_unchanged(self):
+        plain = run_scenario(self.incast_spec())
+        audited = run_scenario(self.incast_spec(), invariants=True)
+        assert audited == plain
+
+    def test_partition_aggregate_audits_clean(self):
+        spec = Scenario(
+            workload="partition-aggregate",
+            protocol="dctcp",
+            thresholds=(32 * 1024 / 1500,),
+            n_flows=6,
+            bandwidth_bps=1e9,
+            transfer_bytes=256 * 1024,
+            n_queries=1,
+        )
+        assert run_scenario(spec, invariants=True) == run_scenario(spec)
